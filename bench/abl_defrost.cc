@@ -1,0 +1,81 @@
+// Ablation (Section 4.2 anecdote): the co-located synchronization variable
+// and the defrost daemon.
+//
+// The paper's first Gaussian elimination shared one page between the
+// matrix-size variable (read in the inner-loop termination test) and a
+// spin-flag used once at the start of the elimination phase. Spinning froze
+// the page, turning every inner-loop size read into a remote reference.
+// After thawing was added to the kernel, "the old version of the program
+// took less than two seconds more to run than the new version", and the
+// defrost daemon added no measurable overhead to the well-behaved version.
+//
+// This bench runs: the clean program (defrost on and off) and the co-located
+// variant (defrost on and off), at several defrost periods t2.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/apps/gauss.h"
+#include "src/kernel/kernel.h"
+#include "src/sim/machine.h"
+
+namespace {
+
+using namespace platinum;  // NOLINT
+using sim::SimTime;
+
+SimTime Run(bool colocate, bool defrost, SimTime t2 = 0) {
+  sim::MachineParams params = sim::ButterflyPlusParams(16);
+  if (t2 > 0) {
+    params.t2_defrost_period_ns = t2;
+  }
+  sim::Machine machine(params);
+  kernel::KernelOptions options;
+  options.start_defrost_daemon = defrost;
+  kernel::Kernel kernel(&machine, std::move(options));
+  apps::GaussConfig config;
+  config.n = bench::EnvInt("PLATINUM_GAUSS_N", bench::FullScale() ? 512 : 192);
+  config.processors = 16;
+  config.colocate_size_and_flag = colocate;
+  config.verify = false;
+  return RunGaussPlatinum(kernel, config).elimination_ns;
+}
+
+void BM_GaussDefrost(benchmark::State& state) {
+  for (auto _ : state) {
+    state.counters["sim_s"] = sim::ToSeconds(Run(state.range(0) != 0, state.range(1) != 0));
+  }
+}
+BENCHMARK(BM_GaussDefrost)->Args({0, 1})->Args({1, 1})->Args({1, 0})->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::printf("\n=== Ablation: co-located sync variable + defrost daemon ===\n");
+  double clean_on = sim::ToSeconds(Run(false, true));
+  double clean_off = sim::ToSeconds(Run(false, false));
+  double dirty_on = sim::ToSeconds(Run(true, true));
+  double dirty_off = sim::ToSeconds(Run(true, false));
+  std::printf("clean program,      defrost on : %8.3f s\n", clean_on);
+  std::printf("clean program,      defrost off: %8.3f s   (daemon overhead %+.3f s)\n",
+              clean_off, clean_on - clean_off);
+  std::printf("co-located variant, defrost on : %8.3f s   (penalty vs clean %+.3f s)\n",
+              dirty_on, dirty_on - clean_on);
+  std::printf("co-located variant, defrost off: %8.3f s   (penalty vs clean %+.3f s)\n",
+              dirty_off, dirty_off - clean_on);
+
+  std::printf("\n--- defrost period t2 sweep (co-located variant) ---\n");
+  for (int t2_ms : {100, 300, 1000, 3000}) {
+    double t = sim::ToSeconds(Run(true, true, static_cast<SimTime>(t2_ms) * sim::kMillisecond));
+    std::printf("t2 = %5d ms: %8.3f s\n", t2_ms, t);
+  }
+  bench::PrintPaperNote(
+      "with thawing, the badly-laid-out program costs under two seconds more "
+      "than the fixed program; the defrost daemon adds no measurable overhead "
+      "to the well-behaved version. Reducing t2 helps accidentally frozen "
+      "pages thaw sooner at the cost of overhead for pages that should stay "
+      "frozen.");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared helpers for the benchmark binaries.
+//
+// Every bench binary regenerates one table or figure of the paper: it runs
+// the experiment on the simulated machine, prints the series the paper
+// reports (virtual-time measurements), and registers the runs with
+// google-benchmark so the harness also emits machine-readable output.
+// Workload sizes default to values that run in seconds; set PLATINUM_FULL=1
+// for paper-scale inputs.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace platinum::bench {
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+inline bool FullScale() { return EnvInt("PLATINUM_FULL", 0) != 0; }
+
+// A speedup-curve table: one row per processor count, one column per system.
+class SpeedupTable {
+ public:
+  SpeedupTable(std::string title, std::vector<std::string> systems)
+      : title_(std::move(title)), systems_(std::move(systems)) {}
+
+  void AddRow(int processors, const std::vector<sim::SimTime>& times) {
+    rows_.push_back({processors, times});
+  }
+
+  void Print() const {
+    std::printf("\n=== %s ===\n", title_.c_str());
+    std::printf("%5s", "procs");
+    for (const std::string& system : systems_) {
+      std::printf("  %14s %8s", (system + " (s)").c_str(), "speedup");
+    }
+    std::printf("\n");
+    for (const Row& row : rows_) {
+      std::printf("%5d", row.processors);
+      for (size_t i = 0; i < row.times.size(); ++i) {
+        double t = sim::ToSeconds(row.times[i]);
+        double base = sim::ToSeconds(rows_.front().times[i]);
+        std::printf("  %14.3f %8.2f", t, base > 0 ? base / t : 0.0);
+      }
+      std::printf("\n");
+    }
+  }
+
+ private:
+  struct Row {
+    int processors;
+    std::vector<sim::SimTime> times;
+  };
+  std::string title_;
+  std::vector<std::string> systems_;
+  std::vector<Row> rows_;
+};
+
+inline void PrintPaperNote(const char* note) { std::printf("paper: %s\n", note); }
+
+}  // namespace platinum::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,89 @@
+// Figure 1: Gaussian elimination speedup vs. processors.
+//
+// The paper reports, for an 800x800 integer Gauss elimination on a
+// 16-processor Butterfly Plus: PLATINUM coherent memory 13.5x, the Uniform
+// System implementation 10.6x, and the SMP message-passing implementation
+// 15.3x. This bench regenerates all three curves on the simulated machine.
+//
+// Default matrix size is 256 (seconds of host time); PLATINUM_FULL=1 runs
+// the paper's 800x800, and PLATINUM_GAUSS_N overrides explicitly.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/apps/gauss.h"
+#include "src/kernel/kernel.h"
+#include "src/sim/machine.h"
+
+namespace {
+
+using namespace platinum;  // NOLINT
+
+int MatrixSize() {
+  return bench::EnvInt("PLATINUM_GAUSS_N", bench::FullScale() ? 800 : 400);
+}
+
+apps::GaussConfig ConfigFor(int processors) {
+  apps::GaussConfig config;
+  config.n = MatrixSize();
+  config.processors = processors;
+  // Verify only the small runs; verification re-reads the whole matrix.
+  config.verify = config.n <= 400;
+  return config;
+}
+
+sim::SimTime RunPlatinum(int processors) {
+  sim::Machine machine(sim::ButterflyPlusParams(16));
+  kernel::Kernel kernel(&machine);
+  return RunGaussPlatinum(kernel, ConfigFor(processors)).elimination_ns;
+}
+
+sim::SimTime RunUniform(int processors) {
+  sim::Machine machine(sim::ButterflyPlusParams(16));
+  return RunGaussUniformSystem(machine, ConfigFor(processors)).elimination_ns;
+}
+
+sim::SimTime RunSmp(int processors) {
+  sim::Machine machine(sim::ButterflyPlusParams(16));
+  kernel::Kernel kernel(&machine);
+  return RunGaussMessagePassing(kernel, ConfigFor(processors)).elimination_ns;
+}
+
+void BM_GaussPlatinum(benchmark::State& state) {
+  for (auto _ : state) {
+    state.counters["sim_s"] = sim::ToSeconds(RunPlatinum(static_cast<int>(state.range(0))));
+  }
+}
+void BM_GaussUniformSystem(benchmark::State& state) {
+  for (auto _ : state) {
+    state.counters["sim_s"] = sim::ToSeconds(RunUniform(static_cast<int>(state.range(0))));
+  }
+}
+void BM_GaussMessagePassing(benchmark::State& state) {
+  for (auto _ : state) {
+    state.counters["sim_s"] = sim::ToSeconds(RunSmp(static_cast<int>(state.range(0))));
+  }
+}
+
+BENCHMARK(BM_GaussPlatinum)->Arg(1)->Arg(16)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GaussUniformSystem)->Arg(1)->Arg(16)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GaussMessagePassing)->Arg(1)->Arg(16)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  bench::SpeedupTable table(
+      "Figure 1: Gaussian elimination (n=" + std::to_string(MatrixSize()) + ")",
+      {"PLATINUM", "UniformSys", "SMP-msg"});
+  for (int p : {1, 2, 4, 8, 12, 16}) {
+    table.AddRow(p, {RunPlatinum(p), RunUniform(p), RunSmp(p)});
+  }
+  table.Print();
+  bench::PrintPaperNote(
+      "16-processor speedups on the Butterfly Plus (800x800): PLATINUM 13.5, "
+      "Uniform System 10.6, SMP message passing 15.3. Expected shape: "
+      "SMP > PLATINUM > Uniform System, all near-linear at low processor counts.");
+  return 0;
+}

@@ -1,0 +1,208 @@
+// Section 4: the measured cost of basic coherent-memory operations.
+//
+// The paper reports (16-processor Butterfly Plus, 4 KB pages):
+//   * page copy (block transfer): 1.11 ms;
+//   * read miss replicating a non-modified page: 1.34-1.38 ms (local vs
+//     remote kernel data structures);
+//   * read miss replicating a modified page, one processor interrupted:
+//     1.38-1.59 ms;
+//   * write miss on a present+ page, one processor interrupted, one page
+//     freed: 0.25-0.45 ms;
+//   * incremental cost per additional interrupted processor: <= 17 us
+//     (~7 us interrupt + ~10 us page free), vs 55 us per processor for the
+//     Mach shootdown on an Encore Multimax.
+// Every number here is measured by running the real fault-handler code on
+// the simulated machine, not computed from the constants.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/kernel/kernel.h"
+#include "src/runtime/parallel.h"
+#include "src/runtime/shared_array.h"
+#include "src/runtime/zone_allocator.h"
+#include "src/sim/machine.h"
+
+namespace {
+
+using namespace platinum;  // NOLINT
+using sim::kMillisecond;
+using sim::SimTime;
+
+struct Measurement {
+  const char* name;
+  double measured_ms;
+  const char* paper;
+};
+
+std::vector<Measurement> g_rows;
+
+// Builds a fresh 16-node system, runs `scenario` and returns the virtual
+// duration it reports.
+SimTime Measure(const std::function<SimTime(kernel::Kernel&, vm::AddressSpace*,
+                                            rt::ZoneAllocator&)>& scenario) {
+  sim::Machine machine(sim::ButterflyPlusParams(16));
+  kernel::Kernel kernel(&machine);
+  auto* space = kernel.CreateAddressSpace("bench");
+  rt::ZoneAllocator zone(&kernel, space);
+  SimTime result = 0;
+  kernel.SpawnThread(space, 0, "driver", [&] { result = scenario(kernel, space, zone); });
+  kernel.Run();
+  return result;
+}
+
+// Time for one page copy through the block-transfer engine.
+SimTime PageCopy() {
+  return Measure([](kernel::Kernel& kernel, vm::AddressSpace*, rt::ZoneAllocator& zone) {
+    auto arr = rt::SharedArray<uint32_t>::Create(zone, "p", 4);
+    arr.Get(0);  // place one copy on node 0
+    SimTime duration = 0;
+    rt::RunOnProcessors(kernel, zone.space(), 2, "copy", [&](int pid) {
+      if (pid == 1) {
+        SimTime t0 = kernel.Now();
+        kernel.machine().BlockTransferPage(0, 0, 1, 0);
+        duration = kernel.Now() - t0;
+      }
+    });
+    return duration;
+  });
+}
+
+// Read miss that replicates a non-modified page. `home` chooses where the
+// Cpage's kernel structures live relative to the faulting processor 1.
+SimTime ReadMissNonModified(int home) {
+  return Measure([home](kernel::Kernel& kernel, vm::AddressSpace* space,
+                        rt::ZoneAllocator&) -> SimTime {
+    rt::ZoneAllocator zone(&kernel, space);
+    uint32_t va = zone.AllocWords("page", 1, hw::Rights::kReadWrite, home);
+    kernel.ReadWord(space, va);  // present1 on node 0, thread exits ATC etc.
+    SimTime duration = 0;
+    rt::RunOnProcessors(kernel, space, 2, "reader", [&](int pid) {
+      if (pid == 1) {
+        SimTime t0 = kernel.Now();
+        kernel.ReadWord(space, va);
+        duration = kernel.Now() - t0;
+      }
+    });
+    return duration;
+  });
+}
+
+// Read miss replicating a modified page whose writer must be interrupted.
+SimTime ReadMissModified() {
+  sim::Machine machine(sim::ButterflyPlusParams(16));
+  kernel::Kernel kernel(&machine);
+  auto* space = kernel.CreateAddressSpace("bench");
+  rt::ZoneAllocator zone(&kernel, space);
+  uint32_t va = zone.AllocWords("page", 1, hw::Rights::kReadWrite, /*home=*/1);
+  SimTime duration = 0;
+  // Writer keeps the space active on node 0 while the reader faults.
+  kernel.SpawnThread(space, 0, "writer", [&] {
+    kernel.WriteWord(space, va, 1);
+    machine.scheduler().Sleep(20 * kMillisecond);
+  });
+  kernel.SpawnThread(space, 1, "reader", [&] {
+    machine.scheduler().Sleep(5 * kMillisecond);
+    SimTime t0 = kernel.Now();
+    kernel.ReadWord(space, va);
+    duration = kernel.Now() - t0;
+  });
+  kernel.Run();
+  return duration;
+}
+
+// Write miss on a present+ page: `replicas` processors hold read-mapped
+// copies and stay active; the writer (who already has a local copy) must
+// invalidate them all. Returns the writer's fault latency.
+SimTime WriteMissPresentPlus(int replicas) {
+  sim::Machine machine(sim::ButterflyPlusParams(16));
+  kernel::Kernel kernel(&machine);
+  auto* space = kernel.CreateAddressSpace("bench");
+  rt::ZoneAllocator zone(&kernel, space);
+  uint32_t va = zone.AllocWords("page", 1, hw::Rights::kReadWrite, /*home=*/0);
+  SimTime duration = 0;
+  kernel.SpawnThread(space, 0, "owner", [&] {
+    kernel.WriteWord(space, va, 1);
+    machine.scheduler().Sleep(40 * kMillisecond);
+    SimTime t0 = kernel.Now();
+    kernel.WriteWord(space, va, 2);
+    duration = kernel.Now() - t0;
+  });
+  for (int r = 1; r <= replicas; ++r) {
+    kernel.SpawnThread(space, r, "replica", [&, r] {
+      machine.scheduler().Sleep(static_cast<SimTime>(r) * kMillisecond);
+      kernel.ReadWord(space, va);
+      machine.scheduler().Sleep(60 * kMillisecond);  // stay active
+    });
+  }
+  kernel.Run();
+  return duration;
+}
+
+void BM_PageCopy(benchmark::State& state) {
+  for (auto _ : state) {
+    state.counters["sim_ms"] = sim::ToMilliseconds(PageCopy());
+  }
+}
+void BM_ReadMissNonModified(benchmark::State& state) {
+  for (auto _ : state) {
+    state.counters["sim_ms"] =
+        sim::ToMilliseconds(ReadMissNonModified(static_cast<int>(state.range(0))));
+  }
+}
+void BM_ReadMissModified(benchmark::State& state) {
+  for (auto _ : state) {
+    state.counters["sim_ms"] = sim::ToMilliseconds(ReadMissModified());
+  }
+}
+void BM_WriteMissPresentPlus(benchmark::State& state) {
+  for (auto _ : state) {
+    state.counters["sim_ms"] =
+        sim::ToMilliseconds(WriteMissPresentPlus(static_cast<int>(state.range(0))));
+  }
+}
+
+BENCHMARK(BM_PageCopy)->Iterations(1);
+BENCHMARK(BM_ReadMissNonModified)->Arg(1)->Arg(5)->Iterations(1);
+BENCHMARK(BM_ReadMissModified)->Iterations(1);
+BENCHMARK(BM_WriteMissPresentPlus)->DenseRange(1, 15, 7)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::printf("\n=== Section 4: basic operation costs ===\n");
+  g_rows.push_back({"page copy (block transfer)", sim::ToMilliseconds(PageCopy()), "1.11 ms"});
+  g_rows.push_back({"read miss, non-modified page, local Cpage structures",
+                    sim::ToMilliseconds(ReadMissNonModified(/*home=*/1)), "1.34 ms"});
+  g_rows.push_back({"read miss, non-modified page, remote Cpage structures",
+                    sim::ToMilliseconds(ReadMissNonModified(/*home=*/5)), "1.38 ms"});
+  g_rows.push_back({"read miss, modified page, one processor interrupted",
+                    sim::ToMilliseconds(ReadMissModified()), "1.38-1.59 ms"});
+  g_rows.push_back({"write miss, present+, 1 interrupt + 1 page freed",
+                    sim::ToMilliseconds(WriteMissPresentPlus(1)), "0.25-0.45 ms"});
+  for (const Measurement& m : g_rows) {
+    std::printf("%-55s %8.3f ms   (paper: %s)\n", m.name, m.measured_ms, m.paper);
+  }
+
+  std::printf("\n--- incremental cost per interrupted processor ---\n");
+  double previous = 0;
+  for (int k = 1; k <= 15; ++k) {
+    double ms = sim::ToMilliseconds(WriteMissPresentPlus(k));
+    if (k > 1) {
+      std::printf("processors %2d -> %2d: incremental %6.1f us\n", k - 1, k,
+                  (ms - previous) * 1000.0 / 1.0);
+    }
+    previous = ms;
+  }
+  bench::PrintPaperNote(
+      "incremental delay per additional interrupted processor is no more than "
+      "17 us (about 7 us interrupt + 10 us page free); Mach's shootdown costs "
+      "55 us per processor on a 16-processor Encore Multimax.");
+  return 0;
+}

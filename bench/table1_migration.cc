@@ -1,0 +1,269 @@
+// Table 1: when does it pay to migrate a page?
+//
+// Section 4.1 derives inequality (2): with reference density rho and data
+// movement ratio g(p), migration always pays once the page size (in words)
+// exceeds S_min = g*F / (rho*(Tr-Tl) - g*Tb). The paper evaluates it as
+// s > 107*g / (rho - 0.24*g) and tabulates S_min for rho in {0.17..2.0} and
+// g in {0.5, 1, 2}.
+//
+// This bench (a) recomputes the analytic table from the simulator's actual
+// constants next to the paper's values, and (b) *empirically* validates the
+// predicted crossover: for selected (rho, g) cells it runs the critical-
+// section workload of Section 4.1 on machines with different page sizes,
+// under an always-migrate policy and a never-migrate (remote-access) policy,
+// and reports which wins.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/kernel/kernel.h"
+#include "src/mem/policy.h"
+#include "src/runtime/shared_array.h"
+#include "src/runtime/zone_allocator.h"
+#include "src/sim/machine.h"
+
+namespace {
+
+using namespace platinum;  // NOLINT
+using sim::SimTime;
+
+// Fixed overhead F of one migration in our implementation (fault + shootdown
+// setup + one processor interrupted + one page freed), matching the paper's
+// "about 0.48 ms".
+double MigrationFixedOverheadNs(const sim::MachineParams& params) {
+  return static_cast<double>(params.fault_fixed_ns + params.shootdown_setup_ns +
+                             params.shootdown_per_processor_ns + params.page_free_ns);
+}
+
+// Analytic S_min in words; negative means "never pays".
+double AnalyticSmin(const sim::MachineParams& params, double rho, double g) {
+  double saving_per_word = static_cast<double>(params.remote_read_ns - params.local_read_ns);
+  double denominator = rho * saving_per_word - g * static_cast<double>(params.block_copy_word_ns);
+  if (denominator <= 0) {
+    return -1;
+  }
+  return g * MigrationFixedOverheadNs(params) / denominator;
+}
+
+// Runs the Section 4.1 workload: two processors take turns performing the
+// operation f (rho * s references over one page of s words), `consecutive`
+// operations per turn (g = 2 / consecutive), handing off through ports so
+// the handoff cost is identical under both policies. Returns total virtual
+// time for `rounds` handoffs.
+SimTime RunWorkload(uint32_t page_bytes, double rho, int consecutive, bool migrate,
+                    int rounds = 24) {
+  sim::MachineParams params = sim::ButterflyPlusParams(4);
+  params.page_size_bytes = page_bytes;
+  sim::Machine machine(params);
+  kernel::KernelOptions options;
+  if (migrate) {
+    options.policy = std::make_unique<mem::AlwaysCachePolicy>();
+  } else {
+    options.policy = std::make_unique<mem::NeverCachePolicy>();
+  }
+  kernel::Kernel kernel(&machine, std::move(options));
+  auto* space = kernel.CreateAddressSpace("t1");
+  rt::ZoneAllocator zone(&kernel, space);
+  uint32_t s_words = page_bytes / 4;
+  auto page = rt::SharedArray<uint32_t>::Create(zone, "x", s_words);
+  auto* port_a = kernel.CreatePort("a");
+  auto* port_b = kernel.CreatePort("b");
+
+  auto operation = [&](int salt) {
+    // r = rho * s references: one write (the critical-section update that
+    // makes the page move under the migrating policy, first so the fault
+    // happens up front) followed by reads spread over the page. The analytic
+    // model prices references at the remote *read* latency, so the workload
+    // is read-dominated to match.
+    auto r = static_cast<uint32_t>(rho * static_cast<double>(s_words));
+    page.Set(static_cast<uint32_t>(salt) % s_words, static_cast<uint32_t>(salt));
+    for (uint32_t i = 1; i < r; ++i) {
+      uint32_t index = (i * 2654435761u + static_cast<uint32_t>(salt)) % s_words;
+      benchmark::DoNotOptimize(page.Get(index));
+    }
+  };
+
+  SimTime elapsed = 0;
+  std::vector<uint32_t> token{1};
+  kernel.SpawnThread(space, 0, "A", [&] {
+    SimTime t0 = kernel.Now();
+    for (int round = 0; round < rounds; ++round) {
+      for (int k = 0; k < consecutive; ++k) {
+        operation(round);
+      }
+      kernel.Send(port_b, token);
+      kernel.Receive(port_a);
+    }
+    elapsed = kernel.Now() - t0;
+  });
+  kernel.SpawnThread(space, 1, "B", [&] {
+    for (int round = 0; round < rounds; ++round) {
+      kernel.Receive(port_b);
+      for (int k = 0; k < consecutive; ++k) {
+        operation(round);
+      }
+      kernel.Send(port_a, token);
+    }
+  });
+  kernel.Run();
+  return elapsed;
+}
+
+// The third option of Section 4.1: co-locate the operation with the data by
+// remote procedure call (the Emerald-style choice the paper sets aside). A
+// server thread on the data's node executes f on behalf of the clients; the
+// data never moves and every access in f is local.
+SimTime RunWorkloadRpc(uint32_t page_bytes, double rho, int consecutive, int rounds = 24) {
+  sim::MachineParams params = sim::ButterflyPlusParams(4);
+  params.page_size_bytes = page_bytes;
+  sim::Machine machine(params);
+  kernel::Kernel kernel(&machine);
+  auto* space = kernel.CreateAddressSpace("t1rpc");
+  rt::ZoneAllocator zone(&kernel, space);
+  uint32_t s_words = page_bytes / 4;
+  auto page = rt::SharedArray<uint32_t>::Create(zone, "x", s_words);
+  kernel::Port* server_port = kernel.CreatePort("server");
+  kernel::Port* reply_port = kernel.CreatePort("reply");
+  kernel::Port* port_a = kernel.CreatePort("a");
+  kernel::Port* port_b = kernel.CreatePort("b");
+
+  const int total_ops = rounds * consecutive * 2;
+  // Server on node 2 owns the data; all its accesses are local.
+  kernel.SpawnThread(space, 2, "server", [&] {
+    for (int op = 0; op < total_ops; ++op) {
+      std::vector<uint32_t> request = kernel.Receive(server_port);
+      uint32_t salt = request[0];
+      auto r = static_cast<uint32_t>(rho * static_cast<double>(s_words));
+      page.Set(salt % s_words, salt);
+      for (uint32_t i = 1; i < r; ++i) {
+        benchmark::DoNotOptimize(page.Get((i * 2654435761u + salt) % s_words));
+      }
+      std::vector<uint32_t> reply{1};
+      kernel.Send(reply_port, reply);
+    }
+  });
+
+  SimTime elapsed = 0;
+  std::vector<uint32_t> token{1};
+  auto client = [&](kernel::Port* my_port, kernel::Port* peer_port, bool first) {
+    if (first) {
+      SimTime t0 = kernel.Now();
+      for (int round = 0; round < rounds; ++round) {
+        for (int k = 0; k < consecutive; ++k) {
+          std::vector<uint32_t> request{static_cast<uint32_t>(round * 131 + k)};
+          kernel.Send(server_port, request);
+          kernel.Receive(reply_port);
+        }
+        kernel.Send(peer_port, token);
+        kernel.Receive(my_port);
+      }
+      elapsed = kernel.Now() - t0;
+    } else {
+      for (int round = 0; round < rounds; ++round) {
+        kernel.Receive(my_port);
+        for (int k = 0; k < consecutive; ++k) {
+          std::vector<uint32_t> request{static_cast<uint32_t>(round * 977 + k)};
+          kernel.Send(server_port, request);
+          kernel.Receive(reply_port);
+        }
+        kernel.Send(peer_port, token);
+      }
+    }
+  };
+  kernel.SpawnThread(space, 0, "A", [&] { client(port_a, port_b, true); });
+  kernel.SpawnThread(space, 1, "B", [&] { client(port_b, port_a, false); });
+  kernel.Run();
+  return elapsed;
+}
+
+void BM_Workload(benchmark::State& state) {
+  bool migrate = state.range(0) != 0;
+  for (auto _ : state) {
+    state.counters["sim_ms"] =
+        sim::ToMilliseconds(RunWorkload(4096, /*rho=*/1.0, /*consecutive=*/2, migrate));
+  }
+}
+BENCHMARK(BM_Workload)->Arg(0)->Arg(1)->Iterations(1);
+
+struct PaperCell {
+  double rho;
+  const char* g_half;
+  const char* g_one;
+  const char* g_two;
+};
+
+const PaperCell kPaperTable[] = {
+    {0.17, "1070", "never", "never"}, {0.24, "445", "never", "never"},
+    {0.35, "232", "973", "never"},    {0.48, "149", "435", "never"},
+    {0.60, "111", "298", "1784"},     {0.75, "85", "210", "793"},
+    {1.0, "61", "141", "412"},        {1.5, "39", "84", "210"},
+    {2.0, "28", "61", "141"},
+};
+
+void PrintCell(double smin) {
+  if (smin < 0) {
+    std::printf(" %8s", "never");
+  } else {
+    std::printf(" %8.0f", std::ceil(smin));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  sim::MachineParams params = sim::ButterflyPlusParams(4);
+  std::printf("\n=== Table 1: minimum page size S_min (words) for migration to pay ===\n");
+  std::printf("(ours = from the simulator's constants; paper values in parentheses)\n");
+  std::printf("%5s | %8s %10s | %8s %10s | %8s %10s\n", "rho", "g=0.5", "(paper)", "g=1",
+              "(paper)", "g=2", "(paper)");
+  for (const PaperCell& cell : kPaperTable) {
+    std::printf("%5.2f |", cell.rho);
+    PrintCell(AnalyticSmin(params, cell.rho, 0.5));
+    std::printf(" %10s |", cell.g_half);
+    PrintCell(AnalyticSmin(params, cell.rho, 1.0));
+    std::printf(" %10s |", cell.g_one);
+    PrintCell(AnalyticSmin(params, cell.rho, 2.0));
+    std::printf(" %10s\n", cell.g_two);
+  }
+
+  std::printf("\n--- empirical validation: measured winner vs. prediction ---\n");
+  std::printf("workload: two processors, alternating critical sections (Section 4.1)\n");
+  struct Case {
+    double rho;
+    int consecutive;  // g = 2 / consecutive
+  };
+  for (const Case& c : {Case{1.0, 1}, Case{1.0, 2}, Case{2.0, 1}, Case{0.5, 2}}) {
+    double g = 2.0 / c.consecutive;
+    double smin = AnalyticSmin(params, c.rho, g);
+    for (uint32_t page_bytes : {512u, 1024u, 2048u, 4096u, 8192u, 16384u}) {
+      uint32_t s = page_bytes / 4;
+      SimTime migrate_t = RunWorkload(page_bytes, c.rho, c.consecutive, /*migrate=*/true);
+      SimTime remote_t = RunWorkload(page_bytes, c.rho, c.consecutive, /*migrate=*/false);
+      SimTime rpc_t = RunWorkloadRpc(page_bytes, c.rho, c.consecutive);
+      const char* winner = migrate_t < remote_t ? "migrate" : "remote";
+      const char* predicted = (smin >= 0 && s > smin) ? "migrate" : "remote";
+      std::printf(
+          "rho=%.2f g=%.1f s=%5u words: migrate %8.2f ms, remote %8.2f ms, rpc %8.2f ms "
+          "-> %-7s (predicted %-7s, S_min=%.0f) %s\n",
+          c.rho, g, s, sim::ToMilliseconds(migrate_t), sim::ToMilliseconds(remote_t),
+          sim::ToMilliseconds(rpc_t), winner, predicted, smin,
+          winner == predicted ? "" : "  [off]");
+    }
+  }
+  bench::PrintPaperNote(
+      "S_min = 107*g / (rho - 0.24*g): the block-transfer-to-remote-saving "
+      "ratio Tb/(Tr-Tl) bounds the minimum density, and the fixed overhead "
+      "bounds the minimum economical page size. The rpc column is the third "
+      "option of Section 4.1 (co-locate the operation by remote procedure "
+      "call, as Emerald would): its cost is a constant per operation, so it "
+      "wins over migration for very large pages and loses to everything for "
+      "small, dense ones.");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Gaussian elimination on PLATINUM coherent memory (paper Sections 1, 5.1).
+//
+// Runs the integer Gauss elimination in the paper's coarse-grain style (one
+// thread per processor, cyclic row assignment, pivot rows announced through
+// event counts), verifies the result against a sequential reference, and
+// prints the kernel's post-mortem report — which shows pivot-row pages
+// replicating every round while only the event-count page freezes.
+//
+//   $ ./build/examples/gauss_demo [n] [processors]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/apps/gauss.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/report.h"
+#include "src/sim/machine.h"
+
+using namespace platinum;  // NOLINT
+
+int main(int argc, char** argv) {
+  apps::GaussConfig config;
+  config.n = argc > 1 ? std::atoi(argv[1]) : 128;
+  config.processors = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  sim::Machine machine(sim::ButterflyPlusParams(16));
+  kernel::Kernel kernel(&machine);
+
+  std::printf("Gaussian elimination, %dx%d matrix on %d processors...\n", config.n, config.n,
+              config.processors);
+  apps::GaussResult result = RunGaussPlatinum(kernel, config);
+  std::printf("elimination took %.3f simulated seconds; result %s (checksum %016llx)\n",
+              sim::ToSeconds(result.elimination_ns), result.verified ? "VERIFIED" : "WRONG",
+              static_cast<unsigned long long>(result.checksum));
+
+  kernel::MemoryReport report = BuildMemoryReport(kernel);
+  std::printf("\n%s\n", report.ToString(12).c_str());
+  std::printf("The busiest pages are the pivot rows (one replication per reader per round);\n");
+  std::printf("the frozen page holds the event counts the threads spin on (Section 5.1).\n");
+  return 0;
+}

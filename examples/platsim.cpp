@@ -1,0 +1,203 @@
+// platsim: run any workload on any machine/policy configuration and dump the
+// kernel's instrumentation — the "shell" layer the paper mentions
+// accumulating around the kernel (Section 9).
+//
+//   $ ./build/examples/platsim gauss --procs=8 --n=128 --policy=always --report
+//   $ ./build/examples/platsim neural --procs=16 --trace
+//   $ ./build/examples/platsim pattern --kind=migratory --think-us=15000
+//
+// Workloads: gauss | sort | neural | pattern
+// Options:   --procs=N --n=N --count=N --epochs=N --policy=NAME --page=BYTES
+//            --t1-ms=N --no-defrost --adaptive-defrost --kind=PATTERN
+//            --think-us=N --report --trace
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/apps/gauss.h"
+#include "src/apps/mergesort.h"
+#include "src/apps/neural.h"
+#include "src/apps/patterns.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/report.h"
+#include "src/mem/policy.h"
+#include "src/sim/machine.h"
+
+using namespace platinum;  // NOLINT
+
+namespace {
+
+struct Options {
+  std::string workload = "gauss";
+  int procs = 8;
+  int n = 128;
+  size_t count = 1 << 14;
+  int epochs = 8;
+  std::string policy = "timestamp";
+  uint32_t page_bytes = 4096;
+  int t1_ms = 10;
+  bool defrost = true;
+  bool adaptive = false;
+  std::string pattern_kind = "read-shared";
+  int think_us = 200;
+  bool report = false;
+  bool trace = false;
+};
+
+bool StartsWith(const char* arg, const char* prefix, const char** value) {
+  size_t len = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, len) == 0) {
+    *value = arg + len;
+    return true;
+  }
+  return false;
+}
+
+Options Parse(int argc, char** argv) {
+  Options options;
+  if (argc > 1 && argv[1][0] != '-') {
+    options.workload = argv[1];
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (StartsWith(argv[i], "--procs=", &value)) {
+      options.procs = std::atoi(value);
+    } else if (StartsWith(argv[i], "--n=", &value)) {
+      options.n = std::atoi(value);
+    } else if (StartsWith(argv[i], "--count=", &value)) {
+      options.count = static_cast<size_t>(std::atoll(value));
+    } else if (StartsWith(argv[i], "--epochs=", &value)) {
+      options.epochs = std::atoi(value);
+    } else if (StartsWith(argv[i], "--policy=", &value)) {
+      options.policy = value;
+    } else if (StartsWith(argv[i], "--page=", &value)) {
+      options.page_bytes = static_cast<uint32_t>(std::atoi(value));
+    } else if (StartsWith(argv[i], "--t1-ms=", &value)) {
+      options.t1_ms = std::atoi(value);
+    } else if (StartsWith(argv[i], "--kind=", &value)) {
+      options.pattern_kind = value;
+    } else if (StartsWith(argv[i], "--think-us=", &value)) {
+      options.think_us = std::atoi(value);
+    } else if (std::strcmp(argv[i], "--no-defrost") == 0) {
+      options.defrost = false;
+    } else if (std::strcmp(argv[i], "--adaptive-defrost") == 0) {
+      options.adaptive = true;
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      options.report = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      options.trace = true;
+    }
+  }
+  return options;
+}
+
+std::unique_ptr<mem::ReplicationPolicy> MakePolicy(const Options& options) {
+  sim::SimTime t1 = static_cast<sim::SimTime>(options.t1_ms) * sim::kMillisecond;
+  if (options.policy == "timestamp") {
+    return std::make_unique<mem::TimestampPolicy>(t1);
+  }
+  if (options.policy == "timestamp-thaw") {
+    return std::make_unique<mem::TimestampPolicy>(t1, true);
+  }
+  if (options.policy == "always") {
+    return std::make_unique<mem::AlwaysCachePolicy>();
+  }
+  if (options.policy == "never") {
+    return std::make_unique<mem::NeverCachePolicy>();
+  }
+  if (options.policy == "migrate-then-freeze") {
+    return std::make_unique<mem::MigrateThenFreezePolicy>(3);
+  }
+  std::fprintf(stderr, "unknown policy '%s'\n", options.policy.c_str());
+  std::exit(1);
+}
+
+apps::AccessPattern ParsePattern(const std::string& kind) {
+  if (kind == "private") return apps::AccessPattern::kPrivate;
+  if (kind == "read-shared") return apps::AccessPattern::kReadShared;
+  if (kind == "migratory") return apps::AccessPattern::kMigratory;
+  if (kind == "producer-consumer") return apps::AccessPattern::kProducerConsumer;
+  if (kind == "hot-spot") return apps::AccessPattern::kHotSpotWrite;
+  if (kind == "false-sharing") return apps::AccessPattern::kFalseSharing;
+  std::fprintf(stderr, "unknown pattern '%s'\n", kind.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options = Parse(argc, argv);
+
+  sim::MachineParams params = sim::ButterflyPlusParams(16);
+  params.page_size_bytes = options.page_bytes;
+  params.frames_per_module = (4u << 20) / options.page_bytes;
+  params.adaptive_defrost = options.adaptive;
+  sim::Machine machine(params);
+
+  kernel::KernelOptions kernel_options;
+  kernel_options.policy = MakePolicy(options);
+  kernel_options.start_defrost_daemon = options.defrost;
+  kernel::Kernel kernel(&machine, std::move(kernel_options));
+  if (options.trace) {
+    kernel.memory().EnableTracing(8192);
+  }
+
+  std::printf("platsim: %s, %d processors, policy=%s, page=%u B\n",
+              options.workload.c_str(), options.procs, options.policy.c_str(),
+              options.page_bytes);
+
+  if (options.workload == "gauss") {
+    apps::GaussConfig config;
+    config.n = options.n;
+    config.processors = options.procs;
+    apps::GaussResult result = RunGaussPlatinum(kernel, config);
+    std::printf("elimination: %.3f sim-s, %s\n", sim::ToSeconds(result.elimination_ns),
+                result.verified ? "verified" : "unverified");
+  } else if (options.workload == "sort") {
+    apps::SortConfig config;
+    config.count = options.count;
+    config.processors = options.procs;
+    apps::SortResult result = RunMergeSortPlatinum(kernel, config);
+    std::printf("sort: %.3f sim-s, %s\n", sim::ToSeconds(result.sort_ns),
+                result.verified ? "verified" : "unverified");
+  } else if (options.workload == "neural") {
+    apps::NeuralConfig config;
+    config.processors = options.procs;
+    config.epochs = options.epochs;
+    apps::NeuralResult result = RunNeuralPlatinum(kernel, config);
+    std::printf("training: %.3f sim-s, error %llu -> %llu\n",
+                sim::ToSeconds(result.train_ns),
+                static_cast<unsigned long long>(result.initial_error),
+                static_cast<unsigned long long>(result.final_error));
+  } else if (options.workload == "pattern") {
+    apps::PatternConfig config;
+    config.pattern = ParsePattern(options.pattern_kind);
+    config.processors = options.procs;
+    config.think_ns = static_cast<sim::SimTime>(options.think_us) * sim::kMicrosecond;
+    apps::PatternResult result = RunPattern(kernel, config);
+    std::printf(
+        "pattern %s: %.3f sim-ms; repl %llu, migr %llu, remote-maps %llu, freezes %llu\n",
+        options.pattern_kind.c_str(), sim::ToMilliseconds(result.elapsed_ns),
+        static_cast<unsigned long long>(result.replications),
+        static_cast<unsigned long long>(result.migrations),
+        static_cast<unsigned long long>(result.remote_maps),
+        static_cast<unsigned long long>(result.freezes));
+  } else {
+    std::fprintf(stderr, "unknown workload '%s' (gauss|sort|neural|pattern)\n",
+                 options.workload.c_str());
+    return 1;
+  }
+
+  if (options.report) {
+    std::printf("\n%s", BuildMemoryReport(kernel).ToString().c_str());
+  }
+  if (options.trace) {
+    std::printf("\nlast protocol events:\n%s", kernel.memory().trace()->ToString(24).c_str());
+    std::printf("(%llu events recorded, %llu dropped)\n",
+                static_cast<unsigned long long>(kernel.memory().trace()->recorded()),
+                static_cast<unsigned long long>(kernel.memory().trace()->dropped()));
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Gaussian elimination (paper Sections 1, 5.1 and Figure 1).
+//
+// The paper's flagship workload: integer ("simulated") Gaussian elimination
+// without pivoting on a dense matrix, in three programming styles:
+//   * PLATINUM coherent memory — one thread per processor, rows statically
+//     assigned, the pivot row announced through an array of event counts and
+//     replicated to readers by the coherent memory system;
+//   * Uniform System style — rows placed round-robin across modules, each
+//     thread explicitly copies the pivot row into a private local buffer
+//     every round (the hand-tuned shared-memory version of LeBlanc's study);
+//   * SMP message passing — fully private rows, the pivot row broadcast
+//     through ports along a binomial tree.
+// All three produce bit-identical results, verified against the sequential
+// reference in workloads.h.
+#ifndef SRC_APPS_GAUSS_H_
+#define SRC_APPS_GAUSS_H_
+
+#include <cstdint>
+
+#include "src/kernel/kernel.h"
+#include "src/sim/machine.h"
+
+namespace platinum::apps {
+
+struct GaussConfig {
+  int n = 256;          // matrix dimension
+  int processors = 4;   // worker threads, one per node
+  uint64_t seed = 12345;
+  // Integer multiply + subtract + indexing per inner-loop element on a
+  // 16.67 MHz MC68020.
+  sim::SimTime compute_per_element_ns = 2000;
+  // Reproduces the paper's Section 4.2 anecdote: the matrix-size variable and
+  // a spin-flag share one page, and every inner-loop iteration reads the size
+  // from coherent memory. Spinning on the flag freezes the page, turning
+  // those reads remote until the defrost daemon rescues them.
+  bool colocate_size_and_flag = false;
+  bool verify = true;  // check the result against the sequential reference
+};
+
+struct GaussResult {
+  sim::SimTime elimination_ns = 0;  // measured elimination phase
+  uint64_t checksum = 0;
+  bool verified = false;
+};
+
+// Runs on a fresh kernel (the kernel must have no other live work).
+GaussResult RunGaussPlatinum(kernel::Kernel& kernel, const GaussConfig& config);
+
+// Baselines for Figure 1.
+GaussResult RunGaussUniformSystem(sim::Machine& machine, const GaussConfig& config);
+GaussResult RunGaussMessagePassing(kernel::Kernel& kernel, const GaussConfig& config);
+
+}  // namespace platinum::apps
+
+#endif  // SRC_APPS_GAUSS_H_

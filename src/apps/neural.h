@@ -1,0 +1,50 @@
+// Recurrent-backpropagation network simulator (paper Section 5.3, Figure 6).
+//
+// A three-layer network (16-8-16 encoder: 40 units, 16 input/output pairs)
+// trained by relaxation, parallelized by simple for-loop parallelization on
+// units. Threads share the activation and error vectors at very fine grain
+// and rely only on the atomicity of word operations for synchronization — so
+// the coherent memory system quickly gives up and freezes the shared pages,
+// and each additional processor contributes roughly half of an all-local
+// processor: the paper's Figure 6 behaviour.
+#ifndef SRC_APPS_NEURAL_H_
+#define SRC_APPS_NEURAL_H_
+
+#include <cstdint>
+
+#include "src/kernel/kernel.h"
+
+namespace platinum::apps {
+
+struct NeuralConfig {
+  int inputs = 16;
+  int hidden = 8;
+  int outputs = 16;
+  int patterns = 16;   // the classic encoder problem: one-hot in == out
+  int epochs = 12;
+  int relax_steps = 5;  // settling iterations per phase
+  int processors = 4;
+  uint64_t seed = 3;
+  // Multiply-accumulate per weight: the simulator computes in floating point,
+  // software-emulated/MC68881-assisted on the 16.67 MHz MC68020.
+  sim::SimTime compute_per_weight_ns = 22000;
+  bool verify = true;  // training error must decrease
+  // Section 9 hook: advise the kernel up front that the shared vectors and
+  // weights are fine-grain write-shared, so they freeze immediately instead
+  // of being discovered by a round of migrations and invalidations.
+  bool advise_write_shared = false;
+};
+
+struct NeuralResult {
+  sim::SimTime train_ns = 0;
+  // Sum of |target - output| in fixed-point units, before and after training.
+  uint64_t initial_error = 0;
+  uint64_t final_error = 0;
+  bool verified = false;
+};
+
+NeuralResult RunNeuralPlatinum(kernel::Kernel& kernel, const NeuralConfig& config);
+
+}  // namespace platinum::apps
+
+#endif  // SRC_APPS_NEURAL_H_

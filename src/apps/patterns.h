@@ -1,0 +1,60 @@
+// Synthetic memory-access-pattern workloads.
+//
+// The paper argues that the value of the remote-mapping option depends
+// entirely on the *sharing pattern* of the data (Sections 4-6). This module
+// generates the canonical NUMA sharing patterns so policies can be
+// characterized systematically — the "systematic experiments" Section 9
+// promises once the application collection has grown.
+#ifndef SRC_APPS_PATTERNS_H_
+#define SRC_APPS_PATTERNS_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/kernel/kernel.h"
+#include "src/sim/stats.h"
+
+namespace platinum::apps {
+
+enum class AccessPattern : uint8_t {
+  kPrivate,           // each processor works on its own pages
+  kReadShared,        // written once, then read by everyone
+  kMigratory,         // pages used exclusively by one processor at a time
+  kProducerConsumer,  // one writer per phase, many readers next phase
+  kHotSpotWrite,      // everyone read-modify-writes one page concurrently
+  kFalseSharing,      // disjoint words of one page written by all
+};
+
+std::string_view AccessPatternName(AccessPattern pattern);
+
+struct PatternConfig {
+  AccessPattern pattern = AccessPattern::kReadShared;
+  int processors = 8;
+  // Pages in the shared region (per processor for kPrivate).
+  int pages = 4;
+  int rounds = 30;
+  // References issued per processor per round.
+  int refs_per_round = 64;
+  // Idle time between rounds; relative to t1 it decides whether a migratory
+  // pattern looks quiescent or hot to the timestamp policy.
+  sim::SimTime think_ns = 200 * sim::kMicrosecond;
+  uint64_t seed = 11;
+};
+
+struct PatternResult {
+  sim::SimTime elapsed_ns = 0;
+  // Protocol action deltas attributable to this run.
+  uint64_t replications = 0;
+  uint64_t migrations = 0;
+  uint64_t remote_maps = 0;
+  uint64_t freezes = 0;
+  uint64_t remote_references = 0;
+  uint64_t local_references = 0;
+};
+
+// Runs the pattern on a fresh address space of `kernel`.
+PatternResult RunPattern(kernel::Kernel& kernel, const PatternConfig& config);
+
+}  // namespace platinum::apps
+
+#endif  // SRC_APPS_PATTERNS_H_

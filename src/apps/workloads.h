@@ -1,0 +1,57 @@
+// Shared helpers for the application workloads: deterministic input
+// generation and result checksums, so every implementation of an application
+// (PLATINUM, Uniform System, message passing, UMA) can be verified against a
+// sequential host reference.
+#ifndef SRC_APPS_WORKLOADS_H_
+#define SRC_APPS_WORKLOADS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace platinum::apps {
+
+// SplitMix64: deterministic pseudo-random stream for workload inputs.
+uint64_t Mix64(uint64_t x);
+
+// FNV-1a over a sequence of 32-bit values.
+class Checksum {
+ public:
+  void Add(uint32_t value) {
+    hash_ ^= value;
+    hash_ *= 1099511628211ull;
+  }
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 1469598103934665603ull;
+};
+
+// Fixed-point Gauss arithmetic shared by all implementations (integer ops,
+// like the paper's simulated Gaussian elimination).
+inline constexpr int kGaussShift = 8;
+
+inline int32_t GaussEliminateElement(int32_t a_jk, int32_t multiplier, int32_t a_ik) {
+  return static_cast<int32_t>(a_jk -
+                              ((static_cast<int64_t>(multiplier) * a_ik) >> kGaussShift));
+}
+
+inline int32_t GaussMultiplier(int32_t a_ji, int32_t a_ii) {
+  return static_cast<int32_t>((static_cast<int64_t>(a_ji) << kGaussShift) / a_ii);
+}
+
+// Initial matrix element (diagonally dominant so fixed-point multipliers stay
+// small).
+int32_t GaussInitialValue(uint64_t seed, int n, int i, int j);
+
+// Sequential host-side elimination; returns the checksum of the reduced
+// matrix. Every parallel implementation must reproduce this exactly.
+uint64_t GaussReferenceChecksum(uint64_t seed, int n);
+
+// Merge-sort input and reference.
+uint32_t SortInputValue(uint64_t seed, size_t index);
+uint64_t SortReferenceChecksum(uint64_t seed, size_t count);
+
+}  // namespace platinum::apps
+
+#endif  // SRC_APPS_WORKLOADS_H_

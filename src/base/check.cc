@@ -1,0 +1,14 @@
+#include "src/base/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace platinum::base {
+
+void CheckFailed(const char* file, int line, const char* expr, const std::string& message) {
+  std::fprintf(stderr, "PLAT_CHECK failed at %s:%d: %s %s\n", file, line, expr, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace platinum::base

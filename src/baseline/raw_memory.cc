@@ -1,0 +1,105 @@
+#include "src/baseline/raw_memory.h"
+
+#include "src/base/check.h"
+
+namespace platinum::baseline {
+
+RawRegion::RawRegion(sim::Machine* machine, size_t words, Placement placement, int module)
+    : machine_(machine), words_(words) {
+  PLAT_CHECK(machine != nullptr);
+  PLAT_CHECK_GT(words, size_t{0});
+  words_per_page_ = machine->params().words_per_page();
+  size_t num_pages = (words + words_per_page_ - 1) / words_per_page_;
+  pages_.reserve(num_pages);
+  for (size_t i = 0; i < num_pages; ++i) {
+    int target = placement == Placement::kSingleModule
+                     ? module
+                     : static_cast<int>(i % machine->num_nodes());
+    auto frame = machine->module(target).AllocFrame(machine->AllocRawPageId());
+    PLAT_CHECK(frame.has_value()) << "module " << target << " out of frames for raw region";
+    pages_.push_back(PageRef{target, frame->frame});
+  }
+}
+
+RawRegion::~RawRegion() {
+  if (machine_ == nullptr) {
+    return;
+  }
+  for (const PageRef& page : pages_) {
+    machine_->module(page.module).FreeFrame(page.frame);
+  }
+}
+
+RawRegion::RawRegion(RawRegion&& other) noexcept
+    : machine_(other.machine_),
+      words_(other.words_),
+      words_per_page_(other.words_per_page_),
+      pages_(std::move(other.pages_)) {
+  other.machine_ = nullptr;
+  other.pages_.clear();
+}
+
+RawRegion::Location RawRegion::Locate(size_t index) const {
+  PLAT_DCHECK(index < words_);
+  const PageRef& page = pages_[index / words_per_page_];
+  return Location{page.module, page.frame, static_cast<uint32_t>(index % words_per_page_)};
+}
+
+int RawRegion::module_of(size_t index) const { return Locate(index).module; }
+
+uint32_t RawRegion::Get(size_t index) const {
+  Location loc = Locate(index);
+  machine_->Reference(loc.module, sim::AccessKind::kRead);
+  uint32_t value = machine_->ReadWordRaw(loc.module, loc.frame, loc.word);
+  machine_->scheduler().MaybeYield();
+  return value;
+}
+
+void RawRegion::Set(size_t index, uint32_t value) {
+  Location loc = Locate(index);
+  machine_->Reference(loc.module, sim::AccessKind::kWrite);
+  machine_->WriteWordRaw(loc.module, loc.frame, loc.word, value);
+  machine_->scheduler().MaybeYield();
+}
+
+uint32_t RawRegion::FetchAdd(size_t index, uint32_t delta) {
+  Location loc = Locate(index);
+  machine_->Reference(loc.module, sim::AccessKind::kRead);
+  uint32_t old = machine_->ReadWordRaw(loc.module, loc.frame, loc.word);
+  machine_->Reference(loc.module, sim::AccessKind::kWrite);
+  machine_->WriteWordRaw(loc.module, loc.frame, loc.word, old + delta);
+  machine_->scheduler().MaybeYield();
+  return old;
+}
+
+void RawRegion::CopyWordsFrom(const RawRegion& src, size_t src_first, size_t dst_first,
+                              size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    Set(dst_first + i, src.Get(src_first + i));
+  }
+}
+
+RawBarrier::RawBarrier(sim::Machine* machine, int parties, int module)
+    : machine_(machine),
+      parties_(parties),
+      state_(machine, 2, RawRegion::Placement::kSingleModule, module) {
+  PLAT_CHECK_GT(parties, 0);
+}
+
+void RawBarrier::Wait(uint32_t* local_sense) {
+  uint32_t waiting_for = 1 - *local_sense;
+  *local_sense = waiting_for;
+  uint32_t arrived = state_.FetchAdd(0, 1) + 1;
+  if (static_cast<int>(arrived) == parties_) {
+    state_.Set(0, 0);
+    state_.Set(1, waiting_for);
+    return;
+  }
+  sim::SimTime backoff = 2 * sim::kMicrosecond;
+  while (state_.Get(1) != waiting_for) {
+    machine_->scheduler().Sleep(backoff);
+    backoff = backoff < 64 * sim::kMicrosecond ? backoff * 2 : backoff;
+  }
+}
+
+}  // namespace platinum::baseline

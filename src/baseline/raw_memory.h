@@ -1,0 +1,85 @@
+// Bare physical memory regions for hand-placed baselines.
+//
+// The Uniform System and SMP message-passing programs of the paper's Figure 1
+// run directly against non-uniform physical memory: the programmer chooses
+// where data lives and pays local/remote latency on every reference, with no
+// MMU, faults, or coherent-memory machinery involved. RawRegion reproduces
+// that programming model on the simulated machine.
+#ifndef SRC_BASELINE_RAW_MEMORY_H_
+#define SRC_BASELINE_RAW_MEMORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/machine.h"
+
+namespace platinum::baseline {
+
+class RawRegion {
+ public:
+  // Placement of consecutive pages across memory modules.
+  enum class Placement {
+    kSingleModule,  // all pages on one module
+    kScattered,     // page i on module i % num_nodes (Uniform System style)
+  };
+
+  // Allocates `words` 32-bit words. `module` is the target for
+  // kSingleModule, ignored for kScattered.
+  RawRegion(sim::Machine* machine, size_t words, Placement placement, int module = 0);
+  ~RawRegion();
+
+  RawRegion(const RawRegion&) = delete;
+  RawRegion& operator=(const RawRegion&) = delete;
+  RawRegion(RawRegion&& other) noexcept;
+  RawRegion& operator=(RawRegion&&) = delete;
+
+  size_t size() const { return words_; }
+  int module_of(size_t index) const;
+
+  // Timed accesses from the current fiber's processor.
+  uint32_t Get(size_t index) const;
+  void Set(size_t index, uint32_t value);
+  // Atomic read-modify-write (no yield point between the read and the
+  // write); returns the previous value.
+  uint32_t FetchAdd(size_t index, uint32_t delta);
+
+  // Word-by-word copy loop (the Uniform System pivot-row copy): each word
+  // costs one read from the source plus one write to the destination, charged
+  // to the current fiber.
+  void CopyWordsFrom(const RawRegion& src, size_t src_first, size_t dst_first, size_t count);
+
+ private:
+  struct PageRef {
+    int module;
+    uint32_t frame;
+  };
+  struct Location {
+    int module;
+    uint32_t frame;
+    uint32_t word;
+  };
+  Location Locate(size_t index) const;
+
+  sim::Machine* machine_;
+  size_t words_;
+  uint32_t words_per_page_;
+  std::vector<PageRef> pages_;
+};
+
+// A sense-reversing barrier on raw memory (one counter + sense word on
+// `module`), for baselines that cannot use the coherent runtime.
+class RawBarrier {
+ public:
+  RawBarrier(sim::Machine* machine, int parties, int module = 0);
+
+  void Wait(uint32_t* local_sense);
+
+ private:
+  sim::Machine* machine_;
+  int parties_;
+  RawRegion state_;  // [0] arrivals, [1] sense
+};
+
+}  // namespace platinum::baseline
+
+#endif  // SRC_BASELINE_RAW_MEMORY_H_

@@ -1,0 +1,7 @@
+#include "src/hw/processor.h"
+
+namespace platinum::hw {
+
+ProcessorMmu::ProcessorMmu(int id, uint32_t atc_entries) : id_(id), atc_(atc_entries) {}
+
+}  // namespace platinum::hw

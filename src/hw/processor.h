@@ -1,0 +1,28 @@
+// Per-processor MMU state.
+#ifndef SRC_HW_PROCESSOR_H_
+#define SRC_HW_PROCESSOR_H_
+
+#include <cstdint>
+
+#include "src/hw/atc.h"
+
+namespace platinum::hw {
+
+// One node's processor-side MMU context. The fiber scheduler models the CPU
+// itself; this holds the translation hardware the kernel manipulates.
+class ProcessorMmu {
+ public:
+  ProcessorMmu(int id, uint32_t atc_entries);
+
+  int id() const { return id_; }
+  Atc& atc() { return atc_; }
+  const Atc& atc() const { return atc_; }
+
+ private:
+  const int id_;
+  Atc atc_;
+};
+
+}  // namespace platinum::hw
+
+#endif  // SRC_HW_PROCESSOR_H_

@@ -1,0 +1,250 @@
+#include "src/kernel/kernel.h"
+
+#include <bit>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace platinum::kernel {
+
+Kernel::Kernel(sim::Machine* machine, KernelOptions options)
+    : machine_(machine), default_as_pages_(options.address_space_pages) {
+  PLAT_CHECK(machine_ != nullptr);
+  std::unique_ptr<mem::ReplicationPolicy> policy = std::move(options.policy);
+  if (policy == nullptr) {
+    policy = std::make_unique<mem::TimestampPolicy>(machine_->params().t1_freeze_window_ns);
+  }
+  memory_ = std::make_unique<mem::CoherentMemory>(machine_, std::move(policy));
+  page_shift_ = static_cast<uint32_t>(std::countr_zero(machine_->params().page_size_bytes));
+  if (options.start_defrost_daemon) {
+    memory_->StartDefrostDaemon();
+  }
+}
+
+Kernel::~Kernel() = default;
+
+Kernel::VaParts Kernel::Split(uint32_t va) const {
+  PLAT_DCHECK((va & 3u) == 0) << "unaligned word access at va " << va;
+  return VaParts{va >> page_shift_,
+                 (va & (machine_->params().page_size_bytes - 1)) >> 2};
+}
+
+vm::MemoryObject* Kernel::CreateMemoryObject(std::string name, uint32_t pages,
+                                             int home_module) {
+  auto object = std::make_unique<vm::MemoryObject>(static_cast<uint32_t>(objects_.size()),
+                                                   std::move(name), pages);
+  for (uint32_t i = 0; i < pages; ++i) {
+    int home = home_module >= 0 ? home_module : -1;
+    object->set_cpage(i, memory_->CreateCpage(home));
+  }
+  objects_.push_back(std::move(object));
+  return objects_.back().get();
+}
+
+vm::AddressSpace* Kernel::CreateAddressSpace(std::string name, uint32_t num_pages) {
+  if (num_pages == 0) {
+    num_pages = default_as_pages_;
+  }
+  uint32_t as_id = memory_->RegisterAddressSpace(num_pages);
+  auto space = std::make_unique<vm::AddressSpace>(as_id, std::move(name), num_pages);
+  PLAT_CHECK_EQ(space->id(), static_cast<uint32_t>(spaces_.size()));
+  spaces_.push_back(std::move(space));
+  return spaces_.back().get();
+}
+
+void Kernel::Map(vm::AddressSpace* space, vm::MemoryObject* object, uint32_t object_page,
+                 uint32_t num_pages, uint32_t vpn, hw::Rights rights) {
+  PLAT_CHECK(space != nullptr);
+  PLAT_CHECK(object != nullptr);
+  space->AddBinding(vm::Binding{object, object_page, num_pages, vpn, rights});
+  for (uint32_t i = 0; i < num_pages; ++i) {
+    memory_->BindPage(space->id(), vpn + i, object->cpage(object_page + i), rights);
+  }
+}
+
+void Kernel::Unmap(vm::AddressSpace* space, uint32_t vpn, uint32_t num_pages) {
+  PLAT_CHECK(space != nullptr);
+  for (uint32_t i = 0; i < num_pages; ++i) {
+    memory_->UnbindPage(space->id(), vpn + i);
+  }
+}
+
+Thread* Kernel::SpawnThread(vm::AddressSpace* space, int processor, std::string name,
+                            std::function<void()> body) {
+  PLAT_CHECK(space != nullptr);
+  auto owned = std::unique_ptr<Thread>(
+      new Thread(this, static_cast<uint32_t>(threads_.size()), name, space, processor));
+  Thread* thread = owned.get();
+  threads_.push_back(std::move(owned));
+
+  sim::Fiber* fiber = machine_->scheduler().Spawn(
+      processor, std::move(name), [this, thread, body = std::move(body)] {
+        machine_->Compute(machine_->params().thread_spawn_ns);
+        memory_->Activate(thread->address_space().id(), thread->processor_);
+        body();
+        memory_->Deactivate(thread->address_space().id(), thread->processor_);
+      });
+  thread->fiber_ = fiber;
+  thread_by_fiber_[fiber] = thread;
+  return thread;
+}
+
+Thread* Kernel::CurrentThread() {
+  sim::Fiber* fiber = machine_->scheduler().current();
+  if (fiber == nullptr) {
+    return nullptr;
+  }
+  auto it = thread_by_fiber_.find(fiber);
+  return it != thread_by_fiber_.end() ? it->second : nullptr;
+}
+
+void Kernel::JoinThread(Thread* thread) {
+  PLAT_CHECK(thread != nullptr);
+  PLAT_CHECK(thread->fiber_ != nullptr);
+  machine_->scheduler().Join(thread->fiber_);
+}
+
+void Kernel::Run() { machine_->scheduler().Run(); }
+
+void Kernel::MigrateCurrentThread(Thread* thread, int new_processor) {
+  PLAT_CHECK(CurrentThread() == thread) << "a thread may only migrate itself";
+  if (new_processor == thread->processor_) {
+    return;
+  }
+  const sim::MachineParams& params = machine_->params();
+  // Fixed kernel cost plus moving the kernel stack with the thread
+  // (Section 2.2's special handling of kernel stacks in coherent memory).
+  machine_->Compute(params.thread_migrate_fixed_ns +
+                    static_cast<sim::SimTime>(params.words_per_page()) *
+                        params.block_copy_word_ns);
+  int old_processor = thread->processor_;
+  memory_->Deactivate(thread->address_space().id(), old_processor);
+  machine_->scheduler().MigrateCurrent(new_processor);
+  thread->processor_ = new_processor;
+  memory_->Activate(thread->address_space().id(), new_processor);
+}
+
+uint32_t Kernel::ReadWord(vm::AddressSpace* space, uint32_t va) {
+  VaParts parts = Split(va);
+  mem::CoherentMemory::AccessResult result =
+      memory_->Access(space->id(), parts.vpn, parts.word_offset, sim::AccessKind::kRead);
+  PLAT_CHECK(result.outcome == mem::AccessOutcome::kOk)
+      << "read fault at va " << va << " in space '" << space->name() << "'";
+  return result.value;
+}
+
+void Kernel::WriteWord(vm::AddressSpace* space, uint32_t va, uint32_t value) {
+  VaParts parts = Split(va);
+  mem::CoherentMemory::AccessResult result = memory_->Access(
+      space->id(), parts.vpn, parts.word_offset, sim::AccessKind::kWrite, value);
+  PLAT_CHECK(result.outcome == mem::AccessOutcome::kOk)
+      << "write fault at va " << va << " in space '" << space->name() << "'";
+}
+
+uint32_t Kernel::AtomicReadModifyWrite(vm::AddressSpace* space, uint32_t va,
+                                       const std::function<uint32_t(uint32_t)>& update) {
+  VaParts parts = Split(va);
+  // Fibers only interleave at yield points, so a read immediately followed by
+  // a write (both with yielding suppressed) is atomic, modeling the
+  // Butterfly's atomic remote operations.
+  mem::CoherentMemory::AccessResult read = memory_->Access(
+      space->id(), parts.vpn, parts.word_offset, sim::AccessKind::kRead, 0,
+      /*allow_yield=*/false);
+  PLAT_CHECK(read.outcome == mem::AccessOutcome::kOk);
+  mem::CoherentMemory::AccessResult write =
+      memory_->Access(space->id(), parts.vpn, parts.word_offset, sim::AccessKind::kWrite,
+                      update(read.value), /*allow_yield=*/true);
+  PLAT_CHECK(write.outcome == mem::AccessOutcome::kOk);
+  return read.value;
+}
+
+uint32_t Kernel::AtomicFetchAdd(vm::AddressSpace* space, uint32_t va, uint32_t delta) {
+  return AtomicReadModifyWrite(space, va, [delta](uint32_t v) { return v + delta; });
+}
+
+uint32_t Kernel::AtomicTestAndSet(vm::AddressSpace* space, uint32_t va) {
+  return AtomicReadModifyWrite(space, va, [](uint32_t) { return 1u; });
+}
+
+void Kernel::AdviseMemory(vm::AddressSpace* space, uint32_t va, uint32_t bytes,
+                          mem::MemoryAdvice advice) {
+  PLAT_CHECK(space != nullptr);
+  PLAT_CHECK_GT(bytes, 0u);
+  uint32_t first = VpnOf(va);
+  uint32_t last = VpnOf(va + bytes - 1);
+  memory_->Advise(space->id(), first, last - first + 1, advice);
+}
+
+void Kernel::PinMemory(vm::AddressSpace* space, uint32_t va, int node) {
+  PLAT_CHECK(space != nullptr);
+  memory_->PinTo(space->id(), VpnOf(va), node);
+}
+
+void Kernel::ReplicateMemory(vm::AddressSpace* space, uint32_t va, int node) {
+  PLAT_CHECK(space != nullptr);
+  memory_->ReplicateTo(space->id(), VpnOf(va), node);
+}
+
+void Kernel::ThawMemory(vm::AddressSpace* space, uint32_t va) {
+  PLAT_CHECK(space != nullptr);
+  const mem::CmapEntry& entry = memory_->cmap(space->id()).entry(VpnOf(va));
+  PLAT_CHECK(entry.bound()) << "thaw of unbound va " << va;
+  memory_->Thaw(entry.cpage);
+}
+
+Port* Kernel::CreatePort(std::string name) {
+  ports_.push_back(
+      std::unique_ptr<Port>(new Port(static_cast<uint32_t>(ports_.size()), std::move(name))));
+  return ports_.back().get();
+}
+
+void Kernel::Send(Port* port, std::span<const uint32_t> message) {
+  PLAT_CHECK(port != nullptr);
+  const sim::MachineParams& params = machine_->params();
+  machine_->Compute(params.port_fixed_ns +
+                    static_cast<sim::SimTime>(message.size()) * params.port_word_ns);
+  Port::Message queued;
+  queued.words.assign(message.begin(), message.end());
+  queued.ready_at = machine_->scheduler().now();
+  port->queue_.push_back(std::move(queued));
+  if (!port->waiting_receivers_.empty()) {
+    sim::Fiber* receiver = port->waiting_receivers_.front();
+    port->waiting_receivers_.pop_front();
+    machine_->scheduler().Wake(receiver, machine_->scheduler().now());
+  }
+}
+
+std::vector<uint32_t> Kernel::Receive(Port* port) {
+  PLAT_CHECK(port != nullptr);
+  sim::Scheduler& sched = machine_->scheduler();
+  PLAT_CHECK(sched.current() != nullptr) << "Receive must be called from a thread";
+  while (port->queue_.empty()) {
+    port->waiting_receivers_.push_back(sched.current());
+    sched.Block();
+  }
+  Port::Message message = std::move(port->queue_.front());
+  port->queue_.pop_front();
+  sched.AdvanceTo(message.ready_at);
+  machine_->Compute(machine_->params().port_fixed_ns);
+  return std::move(message.words);
+}
+
+vm::MemoryObject* Kernel::FindMemoryObject(const std::string& name) {
+  for (const auto& object : objects_) {
+    if (object->name() == name) {
+      return object.get();
+    }
+  }
+  return nullptr;
+}
+
+Port* Kernel::FindPort(const std::string& name) {
+  for (const auto& port : ports_) {
+    if (port->name() == name) {
+      return port.get();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace platinum::kernel

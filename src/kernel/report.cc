@@ -1,0 +1,62 @@
+#include "src/kernel/report.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "src/kernel/kernel.h"
+
+namespace platinum::kernel {
+
+MemoryReport BuildMemoryReport(Kernel& kernel) {
+  MemoryReport report;
+  report.machine = kernel.machine().stats();
+  const mem::CpageTable& table = kernel.memory().cpages();
+  for (uint32_t id = 0; id < table.size(); ++id) {
+    const mem::Cpage& page = table.at(id);
+    if (page.frozen()) {
+      ++report.frozen_pages;
+    }
+    if (page.stats().freezes > 0) {
+      ++report.pages_ever_frozen;
+    }
+    if (page.stats().faults == 0) {
+      continue;
+    }
+    report.pages.push_back(CpageReportEntry{id, page.state(), page.frozen(), page.stats()});
+  }
+  return report;
+}
+
+std::string MemoryReport::ToString(size_t top) const {
+  std::vector<CpageReportEntry> busiest = pages;
+  std::sort(busiest.begin(), busiest.end(), [](const auto& a, const auto& b) {
+    return a.stats.faults > b.stats.faults;
+  });
+  if (busiest.size() > top) {
+    busiest.resize(top);
+  }
+
+  std::ostringstream out;
+  out << machine.ToString();
+  out << "pages frozen now: " << frozen_pages << ", ever frozen: " << pages_ever_frozen << "\n";
+  out << "cpage    state     frozen  faults  (r/w)          repl  migr  rmaps  inval  "
+         "waits  wait-ms\n";
+  char line[160];
+  for (const CpageReportEntry& e : busiest) {
+    std::snprintf(line, sizeof(line),
+                  "%-8" PRIu32 " %-9s %-7s %-7" PRIu64 " (%" PRIu64 "/%" PRIu64 ")%*s"
+                  "%-5" PRIu64 " %-5" PRIu64 " %-6" PRIu64 " %-6" PRIu64 " %-6" PRIu64
+                  " %.2f\n",
+                  e.cpage_id, mem::CpageStateName(e.state), e.frozen_now ? "yes" : "no",
+                  e.stats.faults, e.stats.read_faults, e.stats.write_faults, 2, "",
+                  e.stats.replications, e.stats.migrations, e.stats.remote_maps,
+                  e.stats.invalidation_rounds, e.stats.handler_waits,
+                  sim::ToMilliseconds(e.stats.handler_wait_ns));
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace platinum::kernel

@@ -1,0 +1,46 @@
+// Post-mortem memory-management report (Section 4.2).
+//
+// "In addition to timing data, the kernel produces a detailed report on the
+// behavior of memory management": per-Cpage fault counts, a measure of
+// contention in the Cpage fault handler, and whether the page was frozen.
+// This is the instrumentation that diagnosed the frozen matrix-size page in
+// the paper's Gaussian elimination anecdote.
+#ifndef SRC_KERNEL_REPORT_H_
+#define SRC_KERNEL_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mem/cpage.h"
+#include "src/sim/stats.h"
+
+namespace platinum::kernel {
+
+class Kernel;
+
+struct CpageReportEntry {
+  uint32_t cpage_id = 0;
+  mem::CpageState state = mem::CpageState::kEmpty;
+  bool frozen_now = false;
+  mem::CpageStats stats;
+};
+
+struct MemoryReport {
+  sim::MachineStats machine;
+  std::vector<CpageReportEntry> pages;  // only pages that saw faults
+
+  // Pages currently frozen.
+  uint32_t frozen_pages = 0;
+  // Pages ever frozen during the run.
+  uint32_t pages_ever_frozen = 0;
+
+  // Renders the paper-style table, listing the `top` busiest pages.
+  std::string ToString(size_t top = 16) const;
+};
+
+MemoryReport BuildMemoryReport(Kernel& kernel);
+
+}  // namespace platinum::kernel
+
+#endif  // SRC_KERNEL_REPORT_H_

@@ -1,0 +1,13 @@
+#include "src/kernel/thread.h"
+
+#include "src/kernel/kernel.h"
+
+namespace platinum::kernel {
+
+bool Thread::done() const {
+  return fiber_ != nullptr && fiber_->state() == sim::Fiber::State::kDone;
+}
+
+void Thread::Migrate(int new_processor) { kernel_->MigrateCurrentThread(this, new_processor); }
+
+}  // namespace platinum::kernel

@@ -1,0 +1,55 @@
+// Kernel-scheduled threads (Section 1.1).
+//
+// A thread is bound to a single processor at any time and executes within a
+// single address space; an explicit migration operation moves it to another
+// node (taking its kernel stack with it, Section 2.2).
+#ifndef SRC_KERNEL_THREAD_H_
+#define SRC_KERNEL_THREAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/sim/fiber.h"
+
+namespace platinum::vm {
+class AddressSpace;
+}
+
+namespace platinum::kernel {
+
+class Kernel;
+
+class Thread {
+ public:
+  uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  vm::AddressSpace& address_space() const { return *address_space_; }
+  int processor() const { return processor_; }
+  bool done() const;
+
+  // Moves the calling thread (which must be this thread) to another node.
+  void Migrate(int new_processor);
+
+ private:
+  friend class Kernel;
+
+  Thread(Kernel* kernel, uint32_t id, std::string name, vm::AddressSpace* address_space,
+         int processor)
+      : kernel_(kernel),
+        id_(id),
+        name_(std::move(name)),
+        address_space_(address_space),
+        processor_(processor) {}
+
+  Kernel* kernel_;
+  const uint32_t id_;
+  const std::string name_;
+  vm::AddressSpace* address_space_;
+  int processor_;
+  sim::Fiber* fiber_ = nullptr;
+};
+
+}  // namespace platinum::kernel
+
+#endif  // SRC_KERNEL_THREAD_H_

@@ -1,0 +1,140 @@
+// Non-transparent placement hooks (Section 9).
+//
+// "It is not hard to construct scenarios in which better performance could
+// be obtained if the interface between the application and the memory
+// management system were not so transparent. The kernel interface will be
+// extended to support these... utilized primarily by programming languages
+// and their run-time support." These are those hooks: per-page advice that
+// overrides the fault-time replication decision, explicit pinning of
+// write-shared data, and prefetch-style pre-replication of read-mostly data.
+#include <cstring>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/mem/coherent_memory.h"
+
+namespace platinum::mem {
+
+namespace {
+
+// Resolves (as, vpn) to its coherent page; the binding must exist.
+uint32_t BoundCpage(Cmap& cm, uint32_t vpn) {
+  const CmapEntry& entry = cm.entry(vpn);
+  PLAT_CHECK(entry.bound()) << "advice on unbound vpn " << vpn;
+  return entry.cpage;
+}
+
+}  // namespace
+
+void CoherentMemory::Advise(uint32_t as_id, uint32_t vpn, uint32_t npages,
+                            MemoryAdvice advice) {
+  Cmap& cm = cmap(as_id);
+  for (uint32_t i = 0; i < npages; ++i) {
+    cpages_.at(BoundCpage(cm, vpn + i)).SetAdvice(advice);
+  }
+}
+
+void CoherentMemory::PinTo(uint32_t as_id, uint32_t vpn, int node) {
+  PLAT_CHECK_GE(node, 0);
+  PLAT_CHECK_LT(node, machine_->num_nodes());
+  Cmap& cm = cmap(as_id);
+  Cpage& page = cpages_.at(BoundCpage(cm, vpn));
+  int initiator = machine_->scheduler().current() != nullptr
+                      ? machine_->scheduler().current_processor()
+                      : node;
+
+  if (page.state() == CpageState::kEmpty) {
+    // Materialize the page directly on the target node.
+    std::optional<PhysicalCopy> copy = AllocateFrame(page, node);
+    PLAT_CHECK(copy.has_value()) << "out of physical memory pinning cpage " << page.id();
+    PLAT_CHECK_EQ(copy->module, node) << "target module full";
+    std::memset(machine_->module(copy->module).FrameData(copy->frame), 0,
+                machine_->params().page_size_bytes);
+    page.AddCopy(*copy);
+    page.SetState(CpageState::kPresent1);
+    ++machine_->stats().initial_fills;
+  } else if (!page.HasCopyOn(node)) {
+    // Move the data: invalidate every translation, copy to the target,
+    // reclaim the old frames. This is a deliberate placement change, not
+    // coherence interference, so the invalidation history is untouched.
+    std::optional<PhysicalCopy> copy = AllocateFrame(page, node);
+    PLAT_CHECK(copy.has_value() && copy->module == node) << "target module full";
+    ShootdownRound round;
+    InvalidateAllMappings(page, initiator, &round);
+    CommitShootdown(page, round, initiator);
+    CopyInto(page, *copy);
+    std::vector<int> victims;
+    for (const PhysicalCopy& old : page.copies()) {
+      victims.push_back(old.module);
+    }
+    for (int module : victims) {
+      FreeCopy(page, module);
+    }
+    page.AddCopy(*copy);
+    page.ClearWriteMappings();
+    page.SetState(CpageState::kPresent1);
+    ++page.stats().migrations;
+    ++machine_->stats().migrations;
+  } else if (page.copies().size() > 1) {
+    // Collapse to the copy already on the target node.
+    ShootdownRound round;
+    std::vector<int> victims;
+    for (const PhysicalCopy& old : page.copies()) {
+      if (old.module != node) {
+        victims.push_back(old.module);
+      }
+    }
+    for (int module : victims) {
+      InvalidateMappingsToCopy(page, module, initiator, &round);
+    }
+    CommitShootdown(page, round, initiator);
+    for (int module : victims) {
+      FreeCopy(page, module);
+    }
+    if (page.write_mappings() == 0 && page.state() == CpageState::kPresentPlus) {
+      page.SetState(CpageState::kPresent1);
+    }
+  }
+
+  if (!page.frozen()) {
+    page.SetFrozen(true);
+    page.SetFreezeTime(machine_->scheduler().now());
+    frozen_list_.push_back(page.id());
+    ++page.stats().freezes;
+    ++machine_->stats().freezes;
+  }
+}
+
+void CoherentMemory::ReplicateTo(uint32_t as_id, uint32_t vpn, int node) {
+  PLAT_CHECK_GE(node, 0);
+  PLAT_CHECK_LT(node, machine_->num_nodes());
+  Cmap& cm = cmap(as_id);
+  Cpage& page = cpages_.at(BoundCpage(cm, vpn));
+  if (page.state() == CpageState::kEmpty || page.HasCopyOn(node) || page.frozen()) {
+    return;
+  }
+  int initiator = machine_->scheduler().current() != nullptr
+                      ? machine_->scheduler().current_processor()
+                      : node;
+  std::optional<PhysicalCopy> copy = AllocateFrame(page, node);
+  if (!copy.has_value() || copy->module != node) {
+    if (copy.has_value()) {
+      // Fallback landed elsewhere; undo.
+      machine_->module(copy->module).FreeFrame(copy->frame);
+    }
+    return;
+  }
+  if (page.state() == CpageState::kModified) {
+    ShootdownRound round;
+    RestrictCpageToRead(page, initiator, &round);
+    CommitShootdown(page, round, initiator);
+    page.SetState(CpageState::kPresent1);
+  }
+  CopyInto(page, *copy);
+  page.AddCopy(*copy);
+  page.SetState(CpageState::kPresentPlus);
+  ++page.stats().replications;
+  ++machine_->stats().replications;
+}
+
+}  // namespace platinum::mem

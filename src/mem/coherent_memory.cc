@@ -1,0 +1,252 @@
+#include "src/mem/coherent_memory.h"
+
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace platinum::mem {
+
+CoherentMemory::CoherentMemory(sim::Machine* machine, std::unique_ptr<ReplicationPolicy> policy)
+    : machine_(machine), policy_(std::move(policy)), cpages_(machine->num_nodes()) {
+  PLAT_CHECK(machine_ != nullptr);
+  PLAT_CHECK(policy_ != nullptr);
+  mmus_.reserve(machine_->num_nodes());
+  for (int p = 0; p < machine_->num_nodes(); ++p) {
+    mmus_.emplace_back(p, machine_->params().atc_entries);
+  }
+}
+
+CoherentMemory::~CoherentMemory() = default;
+
+hw::ProcessorMmu& CoherentMemory::mmu(int processor) {
+  PLAT_CHECK_GE(processor, 0);
+  PLAT_CHECK_LT(processor, static_cast<int>(mmus_.size()));
+  return mmus_[processor];
+}
+
+uint32_t CoherentMemory::RegisterAddressSpace(uint32_t num_pages) {
+  uint32_t as_id = static_cast<uint32_t>(cmaps_.size());
+  cmaps_.push_back(std::make_unique<Cmap>(as_id, num_pages));
+  return as_id;
+}
+
+Cmap& CoherentMemory::cmap(uint32_t as_id) {
+  PLAT_CHECK_LT(as_id, cmaps_.size());
+  return *cmaps_[as_id];
+}
+
+const Cmap& CoherentMemory::cmap(uint32_t as_id) const {
+  PLAT_CHECK_LT(as_id, cmaps_.size());
+  return *cmaps_[as_id];
+}
+
+uint32_t CoherentMemory::CreateCpage(int home_module) { return cpages_.Create(home_module); }
+
+void CoherentMemory::BindPage(uint32_t as_id, uint32_t vpn, uint32_t cpage, hw::Rights rights) {
+  PLAT_CHECK(rights != hw::Rights::kNone);
+  Cmap& cm = cmap(as_id);
+  CmapEntry& entry = cm.entry(vpn);
+  PLAT_CHECK(!entry.bound()) << "vpn " << vpn << " of AS " << as_id << " already bound";
+  entry.cpage = cpage;
+  entry.rights = rights;
+  entry.reference_mask = 0;
+  cpages_.at(cpage).AddMapper(CpageMapper{as_id, vpn});
+}
+
+void CoherentMemory::UnbindPage(uint32_t as_id, uint32_t vpn) {
+  Cmap& cm = cmap(as_id);
+  CmapEntry& entry = cm.entry(vpn);
+  PLAT_CHECK(entry.bound());
+  Cpage& page = cpages_.at(entry.cpage);
+
+  // Tear down every translation this space holds for the page.
+  for (int p = 0; p < machine_->num_nodes(); ++p) {
+    if (((entry.reference_mask >> p) & 1) == 0) {
+      continue;
+    }
+    hw::Pmap& pmap = cm.pmap(p);
+    const hw::PmapEntry& pe = pmap.entry(vpn);
+    PLAT_CHECK(pe.valid);
+    if (pe.rights == hw::Rights::kReadWrite) {
+      page.DropWriteMapping();
+    }
+    pmap.Remove(vpn);
+    mmus_[p].atc().FlushPage(as_id, vpn);
+  }
+  entry.reference_mask = 0;
+  if (page.state() == CpageState::kModified && page.write_mappings() == 0) {
+    page.SetState(CpageState::kPresent1);
+  }
+  page.RemoveMapper(as_id, vpn);
+  entry = CmapEntry{};
+}
+
+void CoherentMemory::Activate(uint32_t as_id, int processor) {
+  Cmap& cm = cmap(as_id);
+  cm.Activate(processor);
+  // A processor must apply pending Cmap messages before running any thread in
+  // the space (Section 3.1). Structural changes were applied synchronously by
+  // the initiator in this simulation, so acknowledging is bookkeeping only.
+  cm.AcknowledgeMessages(processor);
+}
+
+void CoherentMemory::Deactivate(uint32_t as_id, int processor) {
+  cmap(as_id).Deactivate(processor);
+}
+
+void CoherentMemory::EnterMapping(Cmap& cm, CmapEntry& entry, Cpage& page, uint32_t vpn,
+                                  int processor, const PhysicalCopy& copy, hw::Rights rights) {
+  PLAT_CHECK(rights != hw::Rights::kNone);
+  PLAT_CHECK(page.HasCopyOn(copy.module));
+  hw::Pmap& pmap = cm.pmap(processor);
+  const hw::PmapEntry& old_entry = pmap.entry(vpn);
+  if (old_entry.valid && old_entry.rights == hw::Rights::kReadWrite) {
+    page.DropWriteMapping();
+  }
+  pmap.Enter(vpn, copy.module, copy.frame, rights);
+  if (rights == hw::Rights::kReadWrite) {
+    page.AddWriteMapping();
+  }
+  entry.reference_mask |= uint64_t{1} << processor;
+  // Refresh the faulting processor's ATC so no stale translation survives.
+  mmus_[processor].atc().Fill(cm.as_id(), vpn, pmap.entry(vpn));
+}
+
+void CoherentMemory::ChargeCpageStructures(const Cpage& page, int processor) {
+  if (page.home_module() != processor) {
+    machine_->Compute(machine_->params().fault_remote_extra_ns);
+  }
+}
+
+CoherentMemory::AccessResult CoherentMemory::Access(uint32_t as_id, uint32_t vpn,
+                                                    uint32_t word_offset, sim::AccessKind kind,
+                                                    uint32_t write_value, bool allow_yield) {
+  sim::Scheduler& sched = machine_->scheduler();
+  int processor = sched.current_processor();
+  Cmap& cm = cmap(as_id);
+  hw::Rights needed =
+      kind == sim::AccessKind::kWrite ? hw::Rights::kReadWrite : hw::Rights::kRead;
+
+  hw::Atc& atc = mmus_[processor].atc();
+  const hw::PmapEntry* translation = atc.Lookup(as_id, vpn);
+  if (translation != nullptr && Allows(translation->rights, needed)) {
+    ++machine_->stats().atc_hits;
+  } else {
+    // ATC miss (or insufficient cached rights): the MMU walks the processor's
+    // private Pmap; a usable entry is loaded into the ATC, anything else
+    // traps into the coherent page fault handler.
+    const hw::PmapEntry& pe = cm.pmap(processor).entry(vpn);
+    if (!pe.valid || !Allows(pe.rights, needed)) {
+      AccessOutcome outcome = HandleFault(as_id, vpn, kind);
+      if (outcome != AccessOutcome::kOk) {
+        return AccessResult{outcome, 0};
+      }
+    } else {
+      ++machine_->stats().atc_misses;
+      machine_->Compute(machine_->params().atc_fill_ns);
+      atc.Fill(as_id, vpn, pe);
+    }
+    const hw::PmapEntry& resolved = cm.pmap(processor).entry(vpn);
+    PLAT_CHECK(resolved.valid && Allows(resolved.rights, needed))
+        << "fault handler left no usable translation for vpn " << vpn;
+    translation = atc.Lookup(as_id, vpn);
+    if (translation == nullptr || !Allows(translation->rights, needed)) {
+      atc.Fill(as_id, vpn, resolved);
+      translation = atc.Lookup(as_id, vpn);
+    }
+  }
+
+  // The reference itself.
+  machine_->Reference(translation->module, kind);
+  AccessResult result;
+  if (kind == sim::AccessKind::kRead) {
+    result.value = machine_->ReadWordRaw(translation->module, translation->frame, word_offset);
+  } else {
+    machine_->WriteWordRaw(translation->module, translation->frame, word_offset, write_value);
+  }
+  if (allow_yield) {
+    sched.MaybeYield();
+  }
+  return result;
+}
+
+void CoherentMemory::EnableTracing(size_t capacity) {
+  trace_ = std::make_unique<TraceLog>(capacity);
+}
+
+void CoherentMemory::Trace(TraceEventType type, const Cpage& page, int processor,
+                           uint32_t detail) {
+  if (trace_ != nullptr) {
+    trace_->Record(machine_->scheduler().now(), type, page.id(), processor, detail);
+  }
+}
+
+void CoherentMemory::CheckInvariants() const {
+  cpages_.CheckAllInvariants();
+
+  // Recount write mappings and validate reference masks against Pmaps/ATCs.
+  std::vector<uint32_t> write_mappings(cpages_.size(), 0);
+  for (const auto& cm : cmaps_) {
+    for (uint32_t vpn = 0; vpn < cm->num_pages(); ++vpn) {
+      const CmapEntry& entry = cm->entry(vpn);
+      if (!entry.bound()) {
+        PLAT_CHECK_EQ(entry.reference_mask, uint64_t{0});
+        continue;
+      }
+      const Cpage& page = cpages_.at(entry.cpage);
+      for (int p = 0; p < machine_->num_nodes(); ++p) {
+        bool referenced = (entry.reference_mask >> p) & 1;
+        bool has_translation = false;
+        if (cm->has_pmap(p)) {
+          const hw::Pmap& pmap = const_cast<Cmap&>(*cm).pmap(p);
+          const hw::PmapEntry& pe = pmap.entry(vpn);
+          has_translation = pe.valid;
+          if (pe.valid) {
+            PLAT_CHECK(page.HasCopyOn(pe.module))
+                << "pmap of cpu " << p << " maps vpn " << vpn << " to module " << pe.module
+                << " which holds no copy of cpage " << entry.cpage;
+            PLAT_CHECK(Allows(entry.rights, pe.rights))
+                << "pmap rights exceed VM rights for vpn " << vpn;
+            if (pe.rights == hw::Rights::kReadWrite) {
+              ++write_mappings[entry.cpage];
+            }
+            // The physical frame must still belong to this coherent page.
+            auto copy = page.FindCopy(pe.module);
+            PLAT_CHECK(copy.has_value() && copy->frame == pe.frame);
+          }
+        }
+        PLAT_CHECK_EQ(referenced, has_translation)
+            << "reference-mask mismatch for AS " << cm->as_id() << " vpn " << vpn << " cpu " << p;
+        // A cached ATC translation must agree with the Pmap.
+        const hw::PmapEntry* cached = mmus_[p].atc().Lookup(cm->as_id(), vpn);
+        if (cached != nullptr) {
+          PLAT_CHECK(has_translation) << "stale ATC entry for AS " << cm->as_id() << " vpn "
+                                      << vpn << " cpu " << p;
+          const hw::PmapEntry& pe = const_cast<Cmap&>(*cm).pmap(p).entry(vpn);
+          PLAT_CHECK_EQ(cached->module, pe.module);
+          PLAT_CHECK_EQ(cached->frame, pe.frame);
+          PLAT_CHECK(Allows(pe.rights, cached->rights)) << "ATC rights exceed Pmap rights";
+        }
+      }
+    }
+  }
+  for (uint32_t id = 0; id < cpages_.size(); ++id) {
+    PLAT_CHECK_EQ(write_mappings[id], cpages_.at(id).write_mappings())
+        << "write-mapping census wrong for cpage " << id;
+  }
+
+  // Frozen list matches frozen flags.
+  std::vector<bool> in_list(cpages_.size(), false);
+  for (uint32_t id : frozen_list_) {
+    PLAT_CHECK(cpages_.at(id).frozen());
+    PLAT_CHECK(!in_list[id]) << "cpage " << id << " twice in frozen list";
+    in_list[id] = true;
+  }
+  for (uint32_t id = 0; id < cpages_.size(); ++id) {
+    if (cpages_.at(id).frozen()) {
+      PLAT_CHECK(in_list[id]) << "frozen cpage " << id << " missing from defrost list";
+    }
+  }
+}
+
+}  // namespace platinum::mem

@@ -1,0 +1,198 @@
+// The coherent memory system (Sections 2-4 of the paper).
+//
+// CoherentMemory owns the Cpage table, the per-address-space Cmaps, the
+// per-processor MMU state, the replication policy and the defrost daemon. It
+// implements:
+//   * the access path: ATC lookup -> Pmap walk -> coherent page fault;
+//   * the data-coherency protocol (empty / present1 / present+ / modified)
+//     driven by the page-fault handler, replicating, migrating or
+//     remote-mapping pages (Sections 3.2, 3.3);
+//   * the NUMA shootdown mechanism built on private per-processor Pmaps and
+//     Cmap message queues (Section 3.1);
+//   * freezing of actively write-shared pages and the defrost daemon that
+//     thaws them (Section 4.2).
+//
+// All timing is charged to the faulting fiber as a consequence of the
+// operations actually performed (words block-transferred, processors
+// interrupted, frames freed), using the constants of sim::MachineParams.
+#ifndef SRC_MEM_COHERENT_MEMORY_H_
+#define SRC_MEM_COHERENT_MEMORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/hw/processor.h"
+#include "src/mem/cmap.h"
+#include "src/mem/cpage.h"
+#include "src/mem/policy.h"
+#include "src/mem/trace.h"
+#include "src/sim/machine.h"
+
+namespace platinum::mem {
+
+enum class AccessOutcome : uint8_t {
+  kOk,
+  kNoMapping,   // virtual page not bound to a coherent page
+  kProtection,  // bound, but the VM-level rights forbid this access
+};
+
+class CoherentMemory {
+ public:
+  CoherentMemory(sim::Machine* machine, std::unique_ptr<ReplicationPolicy> policy);
+  ~CoherentMemory();
+
+  CoherentMemory(const CoherentMemory&) = delete;
+  CoherentMemory& operator=(const CoherentMemory&) = delete;
+
+  sim::Machine& machine() { return *machine_; }
+  ReplicationPolicy& policy() { return *policy_; }
+  CpageTable& cpages() { return cpages_; }
+  const CpageTable& cpages() const { return cpages_; }
+  hw::ProcessorMmu& mmu(int processor);
+
+  // --- Setup -----------------------------------------------------------------
+  // Registers an address space of `num_pages` virtual pages; returns its id.
+  uint32_t RegisterAddressSpace(uint32_t num_pages);
+  Cmap& cmap(uint32_t as_id);
+  const Cmap& cmap(uint32_t as_id) const;
+
+  // Creates a coherent page whose kernel structures live on `home_module`
+  // (round-robin when negative).
+  uint32_t CreateCpage(int home_module = -1);
+  // Binds `vpn` of address space `as_id` to `cpage` with VM-level `rights`.
+  void BindPage(uint32_t as_id, uint32_t vpn, uint32_t cpage, hw::Rights rights);
+  // Removes the binding, its translations everywhere, and the mapper record.
+  void UnbindPage(uint32_t as_id, uint32_t vpn);
+
+  // Activation census used to limit shootdown IPIs (Section 3.1). Called by
+  // the thread layer when threads of the space start/stop running on a node.
+  // Activation drains the Cmap message queue for that processor.
+  void Activate(uint32_t as_id, int processor);
+  void Deactivate(uint32_t as_id, int processor);
+
+  // --- The access path ---------------------------------------------------------
+  struct AccessResult {
+    AccessOutcome outcome = AccessOutcome::kOk;
+    uint32_t value = 0;  // loaded word, for reads
+  };
+  // One 32-bit access by the current fiber's processor. Resolves faults,
+  // charges all latencies, moves real data. `allow_yield` lets the quantum
+  // scheduler preempt after the access; read-modify-write sequences pass
+  // false for all but the last access.
+  AccessResult Access(uint32_t as_id, uint32_t vpn, uint32_t word_offset, sim::AccessKind kind,
+                      uint32_t write_value = 0, bool allow_yield = true);
+
+  // The coherent page fault handler (public so microbenchmarks can measure a
+  // single transition). On success the current processor holds a translation
+  // permitting `kind`.
+  AccessOutcome HandleFault(uint32_t as_id, uint32_t vpn, sim::AccessKind kind);
+
+  // --- Non-transparent hooks (Section 9) -----------------------------------------
+  // Attaches placement advice to `npages` coherent pages starting at `vpn`;
+  // advice overrides the fault-time replication decision.
+  void Advise(uint32_t as_id, uint32_t vpn, uint32_t npages, MemoryAdvice advice);
+  // Moves the page backing `vpn` to `node` and freezes it there (for data a
+  // runtime knows will be write-shared at fine grain). Charged to the caller.
+  void PinTo(uint32_t as_id, uint32_t vpn, int node);
+  // Pre-replicates the page backing `vpn` onto `node` (prefetch for
+  // read-mostly data). No-op if a copy already exists there or the page is
+  // empty. Charged to the caller.
+  void ReplicateTo(uint32_t as_id, uint32_t vpn, int node);
+
+  // --- Defrost (Section 4.2) ---------------------------------------------------
+  // Spawns the defrost daemon fiber (idempotent). Without it frozen pages
+  // stay frozen forever under the default policy.
+  void StartDefrostDaemon();
+  // One defrost pass: invalidates all translations to every frozen page and
+  // thaws it. Runs on the caller (daemon or test).
+  void ThawAllFrozen();
+  // Thaws a single page (the explicit "thaw" hook mentioned in Section 4.2).
+  void Thaw(uint32_t cpage_id);
+  // Thaws every page frozen at least `min_age` ago (adaptive-defrost pass).
+  void ThawExpired(sim::SimTime min_age);
+  size_t frozen_count() const { return frozen_list_.size(); }
+
+  // --- Instrumentation (Sections 1.1, 9) -------------------------------------------
+  // Starts recording protocol events into a bounded ring buffer.
+  void EnableTracing(size_t capacity = 4096);
+  // The trace log, or nullptr when tracing is off.
+  TraceLog* trace() { return trace_.get(); }
+
+  // --- Introspection -------------------------------------------------------------
+  uint32_t num_address_spaces() const { return static_cast<uint32_t>(cmaps_.size()); }
+  // Cross-structure invariants: directory vs reference masks vs Pmaps vs ATCs.
+  void CheckInvariants() const;
+
+ private:
+  // One shootdown round accumulates targets across restrict/invalidate steps
+  // so the initiator pays the setup latency once per fault.
+  struct ShootdownRound {
+    uint64_t interrupted_mask = 0;  // processors needing a synchronous IPI
+    uint32_t messages_posted = 0;
+    uint32_t invalidated_translations = 0;
+    uint32_t restricted_translations = 0;
+  };
+
+  // ---- shootdown.cc ----
+  // Downgrades every write mapping of `page` to read-only.
+  void RestrictCpageToRead(Cpage& page, int initiator, ShootdownRound* round);
+  // Removes every translation to `page`'s copy on `module`.
+  void InvalidateMappingsToCopy(Cpage& page, int module, int initiator, ShootdownRound* round);
+  // Removes every translation to `page` regardless of copy (defrost path).
+  void InvalidateAllMappings(Cpage& page, int initiator, ShootdownRound* round);
+  // Charges the initiator for the round's IPIs and bills handler time to the
+  // interrupted processors.
+  void CommitShootdown(const Cpage& page, const ShootdownRound& round, int initiator);
+
+  // ---- fault_handler.cc ----
+  AccessOutcome HandleFaultLocked(Cmap& cm, CmapEntry& entry, Cpage& page, uint32_t vpn,
+                                  sim::AccessKind kind, int processor);
+  void HandleReadFault(Cmap& cm, CmapEntry& entry, Cpage& page, uint32_t vpn, int processor);
+  void HandleWriteFault(Cmap& cm, CmapEntry& entry, Cpage& page, uint32_t vpn, int processor);
+  // Allocates a frame for `page`, preferring `preferred_module`; falls back
+  // to the page's home module, then any module. Charges probe costs.
+  std::optional<PhysicalCopy> AllocateFrame(Cpage& page, int preferred_module);
+  // Creates the first physical copy of an empty page, zero-filled.
+  PhysicalCopy InitialFill(Cpage& page, int processor);
+  // Copies `page`'s primary copy onto `dst` with the block-transfer engine.
+  void CopyInto(Cpage& page, const PhysicalCopy& dst);
+  // Virtual time the current fault spent in block transfers. The transfer
+  // happens *outside* the per-Cpage handler critical section (the paper's
+  // pivot-row serialization is the source module's bus, not the handler
+  // lock), so HandleFault excludes it from handler_busy_until.
+  sim::SimTime fault_copy_ns_ = 0;
+  void FreeCopy(Cpage& page, int module);
+  // Records a protocol event if tracing is enabled.
+  void Trace(TraceEventType type, const Cpage& page, int processor, uint32_t detail);
+  // Central fault-time choice: advice first, then the replication policy.
+  bool DecideCache(Cpage& page, const FaultInfo& fault, sim::SimTime now);
+  // Marks the page frozen if the policy (or its advice) wants declined pages
+  // frozen.
+  void MaybeFreeze(Cpage& page);
+  // Clears the frozen flag and removes the page from the defrost list.
+  void Unfreeze(Cpage& page);
+
+  // ---- coherent_memory.cc ----
+  // Installs a translation for (as, vpn) on `processor` and updates the
+  // reference mask, write-mapping census and the processor's ATC.
+  void EnterMapping(Cmap& cm, CmapEntry& entry, Cpage& page, uint32_t vpn, int processor,
+                    const PhysicalCopy& copy, hw::Rights rights);
+  // Charges the cost of consulting the Cpage entry (remote when its home is
+  // another node).
+  void ChargeCpageStructures(const Cpage& page, int processor);
+
+  sim::Machine* machine_;
+  std::unique_ptr<ReplicationPolicy> policy_;
+  std::vector<hw::ProcessorMmu> mmus_;
+  CpageTable cpages_;
+  std::vector<std::unique_ptr<Cmap>> cmaps_;
+  std::vector<uint32_t> frozen_list_;
+  bool defrost_daemon_started_ = false;
+  std::unique_ptr<TraceLog> trace_;
+};
+
+}  // namespace platinum::mem
+
+#endif  // SRC_MEM_COHERENT_MEMORY_H_

@@ -1,0 +1,107 @@
+// The defrost daemon (Section 4.2).
+//
+// A clock-driven kernel daemon that periodically invalidates all mappings to
+// every frozen Cpage and thaws it, so subsequent faults can re-evaluate the
+// replication decision — the mechanism that lets the memory system react to
+// program phase changes and recover from accidentally frozen pages.
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/mem/coherent_memory.h"
+
+namespace platinum::mem {
+
+void CoherentMemory::StartDefrostDaemon() {
+  if (defrost_daemon_started_) {
+    return;
+  }
+  defrost_daemon_started_ = true;
+  const sim::MachineParams& params = machine_->params();
+  if (params.adaptive_defrost) {
+    // Priority-queue variant: wake at the earliest per-page thaw deadline.
+    machine_->scheduler().Spawn(
+        params.defrost_processor, "defrost-daemon",
+        [this] {
+          sim::Scheduler& sched = machine_->scheduler();
+          const sim::SimTime t2 = machine_->params().t2_defrost_period_ns;
+          for (;;) {
+            sim::SimTime now = sched.now();
+            sim::SimTime wake = now + t2;
+            for (uint32_t id : frozen_list_) {
+              sim::SimTime deadline = cpages_.at(id).freeze_time() + t2;
+              wake = std::min(wake, std::max(deadline, now + sim::kMillisecond));
+            }
+            sched.Sleep(wake - now);
+            ThawExpired(t2);
+          }
+        },
+        /*daemon=*/true);
+    return;
+  }
+  machine_->scheduler().Spawn(
+      params.defrost_processor, "defrost-daemon",
+      [this] {
+        for (;;) {
+          machine_->scheduler().Sleep(machine_->params().t2_defrost_period_ns);
+          ThawAllFrozen();
+        }
+      },
+      /*daemon=*/true);
+}
+
+void CoherentMemory::ThawExpired(sim::SimTime min_age) {
+  sim::SimTime now = machine_->scheduler().now();
+  std::vector<uint32_t> expired;
+  for (uint32_t id : frozen_list_) {
+    const Cpage& page = cpages_.at(id);
+    if (now >= page.freeze_time() && now - page.freeze_time() >= min_age) {
+      expired.push_back(id);
+    }
+  }
+  for (uint32_t id : expired) {
+    Thaw(id);
+  }
+}
+
+void CoherentMemory::ThawAllFrozen() {
+  // Thaw the current batch; pages refrozen by faults racing this pass go on a
+  // fresh list for the next period.
+  std::vector<uint32_t> batch = std::move(frozen_list_);
+  frozen_list_.clear();
+  for (uint32_t id : batch) {
+    Cpage& page = cpages_.at(id);
+    if (!page.frozen()) {
+      continue;  // thawed by an access since it was listed
+    }
+    // Unfreeze expects the page on the list; temporarily restore it.
+    frozen_list_.push_back(id);
+    Thaw(id);
+  }
+}
+
+void CoherentMemory::Thaw(uint32_t cpage_id) {
+  Cpage& page = cpages_.at(cpage_id);
+  if (!page.frozen()) {
+    return;
+  }
+  sim::Scheduler& sched = machine_->scheduler();
+  int initiator = sched.current() != nullptr ? sched.current_processor()
+                                             : machine_->params().defrost_processor;
+
+  // Invalidate every translation so the next access faults and the policy
+  // decides afresh. This is *not* a coherence invalidation: it must not
+  // update the page's interference history, or frozen pages would refreeze
+  // on their next fault.
+  ShootdownRound round;
+  InvalidateAllMappings(page, initiator, &round);
+  CommitShootdown(page, round, initiator);
+  PLAT_CHECK_EQ(page.write_mappings(), 0u);
+  if (page.state() == CpageState::kModified) {
+    page.SetState(CpageState::kPresent1);
+  }
+  Unfreeze(page);
+}
+
+}  // namespace platinum::mem

@@ -1,0 +1,33 @@
+#include "src/mem/policy.h"
+
+namespace platinum::mem {
+
+bool TimestampPolicy::ShouldCache(const Cpage& page, const FaultInfo& fault, sim::SimTime now) {
+  (void)fault;
+  // Bounded clock skew between simulated processors can place `now` slightly
+  // before the recorded invalidation; such a page is by definition hot.
+  bool quiescent = !page.ever_invalidated() ||
+                   (now >= page.last_invalidation() &&
+                    now - page.last_invalidation() >= t1_);
+  if (page.frozen()) {
+    // Default PLATINUM behaviour: stay frozen until the defrost daemon thaws
+    // the page. The variant thaws on any access after the t1 window.
+    return thaw_on_access_ && quiescent;
+  }
+  return quiescent;
+}
+
+bool MigrateThenFreezePolicy::ShouldCache(const Cpage& page, const FaultInfo& fault,
+                                          sim::SimTime now) {
+  (void)now;
+  if (page.frozen()) {
+    return false;  // frozen for good
+  }
+  // Pages never written replicate freely.
+  if (page.stats().write_faults == 0 && !fault.is_write) {
+    return true;
+  }
+  return page.stats().migrations + page.stats().replications < max_migrations_;
+}
+
+}  // namespace platinum::mem

@@ -1,0 +1,74 @@
+#include "src/mem/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "src/base/check.h"
+
+namespace platinum::mem {
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kFault:
+      return "fault";
+    case TraceEventType::kFill:
+      return "fill";
+    case TraceEventType::kReplicate:
+      return "replicate";
+    case TraceEventType::kMigrate:
+      return "migrate";
+    case TraceEventType::kRemoteMap:
+      return "remote-map";
+    case TraceEventType::kFreeze:
+      return "freeze";
+    case TraceEventType::kThaw:
+      return "thaw";
+    case TraceEventType::kShootdown:
+      return "shootdown";
+  }
+  return "?";
+}
+
+TraceLog::TraceLog(size_t capacity) : buffer_(capacity) {
+  PLAT_CHECK_GT(capacity, size_t{0});
+}
+
+void TraceLog::Record(sim::SimTime time, TraceEventType type, uint32_t cpage, int processor,
+                      uint32_t detail) {
+  buffer_[recorded_ % buffer_.size()] =
+      TraceEvent{time, type, cpage, static_cast<int16_t>(processor), detail};
+  ++recorded_;
+}
+
+std::vector<TraceEvent> TraceLog::Snapshot() const {
+  std::vector<TraceEvent> events;
+  uint64_t count = recorded_ < buffer_.size() ? recorded_ : buffer_.size();
+  events.reserve(count);
+  uint64_t first = recorded_ - count;
+  for (uint64_t i = 0; i < count; ++i) {
+    events.push_back(buffer_[(first + i) % buffer_.size()]);
+  }
+  return events;
+}
+
+uint64_t TraceLog::dropped() const {
+  return recorded_ > buffer_.size() ? recorded_ - buffer_.size() : 0;
+}
+
+std::string TraceLog::ToString(size_t last) const {
+  std::vector<TraceEvent> events = Snapshot();
+  size_t first = events.size() > last ? events.size() - last : 0;
+  std::ostringstream out;
+  char line[96];
+  for (size_t i = first; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::snprintf(line, sizeof(line), "%12.3f ms  cpu%-3d %-10s cpage=%-6" PRIu32 " detail=%u\n",
+                  sim::ToMilliseconds(e.time), e.processor, TraceEventTypeName(e.type), e.cpage,
+                  e.detail);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace platinum::mem

@@ -1,0 +1,64 @@
+// Kernel instrumentation: a bounded trace of coherent-memory events.
+//
+// Section 1.1/9: "we are also adding an instrumentation interface to the
+// kernel to help interpret its behavior... useful to application
+// programmers, compiler writers, and system implementors." The trace log is
+// a ring buffer of protocol events (faults, replications, migrations,
+// freezes, shootdowns) with virtual timestamps; it is the machine-readable
+// companion of the post-mortem report in src/kernel/report.h.
+#ifndef SRC_MEM_TRACE_H_
+#define SRC_MEM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace platinum::mem {
+
+enum class TraceEventType : uint8_t {
+  kFault,      // detail: 0 = read, 1 = write
+  kFill,       // first physical copy created
+  kReplicate,  // detail: source module
+  kMigrate,    // detail: destination module
+  kRemoteMap,  // detail: module mapped
+  kFreeze,
+  kThaw,
+  kShootdown,  // detail: processors interrupted
+};
+
+const char* TraceEventTypeName(TraceEventType type);
+
+struct TraceEvent {
+  sim::SimTime time = 0;
+  TraceEventType type = TraceEventType::kFault;
+  uint32_t cpage = 0;
+  int16_t processor = -1;
+  uint32_t detail = 0;
+};
+
+// Fixed-capacity ring buffer; old events are dropped, never reallocated.
+class TraceLog {
+ public:
+  explicit TraceLog(size_t capacity);
+
+  void Record(sim::SimTime time, TraceEventType type, uint32_t cpage, int processor,
+              uint32_t detail);
+
+  // Events currently retained, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+  uint64_t recorded() const { return recorded_; }
+  uint64_t dropped() const;
+
+  // Human-readable dump of the most recent `last` events.
+  std::string ToString(size_t last = 32) const;
+
+ private:
+  std::vector<TraceEvent> buffer_;
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace platinum::mem
+
+#endif  // SRC_MEM_TRACE_H_

@@ -1,0 +1,27 @@
+#include "src/runtime/parallel.h"
+
+#include "src/base/check.h"
+
+namespace platinum::rt {
+
+void RunOnProcessors(kernel::Kernel& kernel, vm::AddressSpace* space, int num_processors,
+                     const std::string& name, const std::function<void(int)>& body) {
+  PLAT_CHECK_GT(num_processors, 0);
+  PLAT_CHECK_LE(num_processors, kernel.num_processors());
+
+  std::vector<kernel::Thread*> threads;
+  threads.reserve(num_processors);
+  for (int p = 0; p < num_processors; ++p) {
+    threads.push_back(
+        kernel.SpawnThread(space, p, name + "-" + std::to_string(p), [body, p] { body(p); }));
+  }
+  if (kernel.machine().scheduler().current() != nullptr) {
+    for (kernel::Thread* thread : threads) {
+      kernel.JoinThread(thread);
+    }
+  } else {
+    kernel.Run();
+  }
+}
+
+}  // namespace platinum::rt

@@ -1,0 +1,21 @@
+// Fork/join helpers for the common one-thread-per-processor pattern.
+#ifndef SRC_RUNTIME_PARALLEL_H_
+#define SRC_RUNTIME_PARALLEL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+
+namespace platinum::rt {
+
+// Spawns `num_processors` threads, one per node 0..n-1, each running
+// body(processor_id), and waits for all of them. Callable from inside a
+// thread (joins) or from machine setup (spawns and runs the machine).
+void RunOnProcessors(kernel::Kernel& kernel, vm::AddressSpace* space, int num_processors,
+                     const std::string& name, const std::function<void(int)>& body);
+
+}  // namespace platinum::rt
+
+#endif  // SRC_RUNTIME_PARALLEL_H_

@@ -1,0 +1,3 @@
+// SharedArray and SharedMatrix are header-only templates; this translation
+// unit exists to give the build a home for future non-template helpers.
+#include "src/runtime/shared_array.h"

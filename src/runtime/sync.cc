@@ -1,0 +1,72 @@
+#include "src/runtime/sync.h"
+
+#include "src/base/check.h"
+#include "src/kernel/thread.h"
+
+namespace platinum::rt {
+
+SpinLock::SpinLock(ZoneAllocator& zone, const std::string& name)
+    : kernel_(&zone.kernel()), space_(zone.space()) {
+  va_ = zone.AllocWords(name, 1);
+}
+
+SpinLock::SpinLock(kernel::Kernel* kernel, vm::AddressSpace* space, uint32_t va)
+    : kernel_(kernel), space_(space), va_(va) {
+  PLAT_CHECK(kernel != nullptr);
+}
+
+void SpinLock::Acquire() {
+  SpinBackoff backoff;
+  for (;;) {
+    if (kernel_->AtomicTestAndSet(space_, va_) == 0) {
+      return;
+    }
+    kernel_->machine().scheduler().Sleep(backoff.Next());
+  }
+}
+
+void SpinLock::Release() { kernel_->WriteWord(space_, va_, 0); }
+
+EventCountArray::EventCountArray(ZoneAllocator& zone, const std::string& name, size_t count)
+    : counts_(SharedArray<uint32_t>::Create(zone, name, count)), kernel_(&zone.kernel()) {}
+
+void EventCountArray::Advance(size_t index) {
+  kernel_->AtomicFetchAdd(counts_.space(), counts_.va(index), 1);
+}
+
+uint32_t EventCountArray::Read(size_t index) const { return counts_.Get(index); }
+
+void EventCountArray::AwaitAtLeast(size_t index, uint32_t value) const {
+  SpinBackoff backoff;
+  while (counts_.Get(index) < value) {
+    kernel_->machine().scheduler().Sleep(backoff.Next());
+  }
+}
+
+Barrier::Barrier(ZoneAllocator& zone, const std::string& name, uint32_t parties)
+    : kernel_(&zone.kernel()),
+      state_(SharedArray<uint32_t>::Create(zone, name, 2)),
+      parties_(parties) {
+  PLAT_CHECK_GT(parties, 0u);
+}
+
+void Barrier::Wait() {
+  kernel::Thread* thread = kernel_->CurrentThread();
+  PLAT_CHECK(thread != nullptr) << "Barrier::Wait outside a thread";
+  uint32_t& sense = local_sense_[thread->id()];
+  uint32_t waiting_for = 1 - sense;
+  sense = waiting_for;
+
+  uint32_t arrived = kernel_->AtomicFetchAdd(state_.space(), state_.va(0), 1) + 1;
+  if (arrived == parties_) {
+    state_.Set(0, 0);
+    state_.Set(1, waiting_for);  // release everyone
+    return;
+  }
+  SpinBackoff backoff;
+  while (state_.Get(1) != waiting_for) {
+    kernel_->machine().scheduler().Sleep(backoff.Next());
+  }
+}
+
+}  // namespace platinum::rt

@@ -1,0 +1,26 @@
+#include "src/sim/fiber.h"
+
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace platinum::sim {
+
+Fiber::Fiber(uint32_t id, int processor, std::string name, std::function<void()> body,
+             uint32_t stack_bytes, bool daemon)
+    : id_(id),
+      processor_(processor),
+      name_(std::move(name)),
+      body_(std::move(body)),
+      daemon_(daemon),
+      stack_(new char[stack_bytes]) {
+  PLAT_CHECK(body_ != nullptr);
+  PLAT_CHECK_EQ(getcontext(&context_), 0);
+  context_.uc_stack.ss_sp = stack_.get();
+  context_.uc_stack.ss_size = stack_bytes;
+  context_.uc_link = nullptr;  // the scheduler switches away explicitly
+}
+
+Fiber::~Fiber() = default;
+
+}  // namespace platinum::sim

@@ -1,0 +1,72 @@
+// Cooperative fibers for the virtual-time simulation.
+//
+// Every simulated thread of control (application thread, kernel daemon) is a
+// fiber with its own stack and its own virtual clock. Fibers never run
+// concurrently: the scheduler resumes exactly one at a time, always the
+// runnable fiber with the smallest virtual clock, so simulated executions are
+// deterministic and data structures need no host-level locking.
+#ifndef SRC_SIM_FIBER_H_
+#define SRC_SIM_FIBER_H_
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace platinum::sim {
+
+class Scheduler;
+
+class Fiber {
+ public:
+  enum class State : uint8_t {
+    kReady,    // in the scheduler's run queue
+    kRunning,  // currently executing
+    kBlocked,  // waiting for an explicit Wake
+    kDone,     // body returned
+  };
+
+  Fiber(uint32_t id, int processor, std::string name, std::function<void()> body,
+        uint32_t stack_bytes, bool daemon);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  uint32_t id() const { return id_; }
+  int processor() const { return processor_; }
+  const std::string& name() const { return name_; }
+  State state() const { return state_; }
+  bool daemon() const { return daemon_; }
+  // This fiber's virtual clock: the simulated time it has reached.
+  SimTime clock() const { return clock_; }
+
+ private:
+  friend class Scheduler;
+
+  const uint32_t id_;
+  int processor_;
+  const std::string name_;
+  std::function<void()> body_;
+  const bool daemon_;
+
+  State state_ = State::kReady;
+  SimTime clock_ = 0;
+  // Virtual time at which this fiber was last resumed; used for quantum
+  // accounting.
+  SimTime resumed_at_ = 0;
+  // Fibers waiting in Join() on this fiber.
+  std::vector<Fiber*> joiners_;
+
+  std::unique_ptr<char[]> stack_;
+  ucontext_t context_;
+};
+
+}  // namespace platinum::sim
+
+#endif  // SRC_SIM_FIBER_H_

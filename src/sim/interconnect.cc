@@ -1,0 +1,68 @@
+#include "src/sim/interconnect.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace platinum::sim {
+
+Interconnect::Interconnect(const MachineParams& params, std::vector<MemoryModule>* modules,
+                           MachineStats* stats)
+    : params_(params), modules_(modules), stats_(stats) {
+  PLAT_CHECK(modules_ != nullptr);
+  PLAT_CHECK(stats_ != nullptr);
+}
+
+SimTime Interconnect::Reference(int requester_node, int target_node, AccessKind kind,
+                                SimTime now) {
+  const bool local = requester_node == target_node;
+  SimTime base;
+  SimTime occupancy;
+  if (local) {
+    base = kind == AccessKind::kRead ? params_.local_read_ns : params_.local_write_ns;
+    occupancy = params_.module_occupancy_local_ns;
+    if (kind == AccessKind::kRead) {
+      ++stats_->local_reads;
+    } else {
+      ++stats_->local_writes;
+    }
+  } else {
+    base = kind == AccessKind::kRead ? params_.remote_read_ns : params_.remote_write_ns;
+    occupancy = params_.module_occupancy_remote_ns;
+    if (kind == AccessKind::kRead) {
+      ++stats_->remote_reads;
+    } else {
+      ++stats_->remote_writes;
+    }
+  }
+
+  MemoryModule& module = (*modules_)[target_node];
+  SimTime start = std::max(now, module.bus_busy_until);
+  module.bus_busy_until = start + occupancy;
+  SimTime wait = start - now;
+  stats_->module_wait_ns += wait;
+  return wait + base;
+}
+
+SimTime Interconnect::BlockTransfer(int src_node, int dst_node, uint32_t words, SimTime now) {
+  PLAT_CHECK_NE(src_node, dst_node);
+  MemoryModule& src = (*modules_)[src_node];
+  MemoryModule& dst = (*modules_)[dst_node];
+
+  SimTime start = std::max({now, src.bus_busy_until, dst.bus_busy_until});
+  SimTime duration = static_cast<SimTime>(words) * params_.block_copy_word_ns;
+  SimTime end = start + duration;
+
+  // The transfer engine consumes block_bus_steal_permille of both buses for
+  // its duration; other traffic effectively queues behind that share.
+  SimTime steal = duration * params_.block_bus_steal_permille / 1000;
+  src.bus_busy_until = start + steal;
+  dst.bus_busy_until = start + steal;
+
+  stats_->module_wait_ns += start - now;
+  ++stats_->block_transfers;
+  stats_->block_words_copied += words;
+  return end;
+}
+
+}  // namespace platinum::sim

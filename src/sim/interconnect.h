@@ -1,0 +1,48 @@
+// Butterfly-switch timing model.
+//
+// Models the latency and contention of word references and block transfers.
+// Contention is modeled by queueing at the target memory module's bus: each
+// reference occupies the bus for a short service interval, so concurrent
+// traffic to a hot module serializes (the dominant contention effect on the
+// Butterfly, and the effect PLATINUM's replication is designed to relieve).
+// Block transfers additionally steal most of the bus bandwidth on *both*
+// nodes involved (paper Section 7: 75%).
+#ifndef SRC_SIM_INTERCONNECT_H_
+#define SRC_SIM_INTERCONNECT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/memory_module.h"
+#include "src/sim/params.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace platinum::sim {
+
+enum class AccessKind : uint8_t { kRead, kWrite };
+
+class Interconnect {
+ public:
+  Interconnect(const MachineParams& params, std::vector<MemoryModule>* modules,
+               MachineStats* stats);
+
+  // Latency of one 32-bit reference issued at virtual time `now` by
+  // `requester_node` against `target_node`'s module, including any time spent
+  // queued behind other traffic. Updates module bus occupancy and stats.
+  SimTime Reference(int requester_node, int target_node, AccessKind kind, SimTime now);
+
+  // Schedules a block transfer of `words` 32-bit words from `src_node` to
+  // `dst_node` starting no earlier than `now`. Returns the completion time.
+  // Both modules' buses are largely consumed for the duration.
+  SimTime BlockTransfer(int src_node, int dst_node, uint32_t words, SimTime now);
+
+ private:
+  const MachineParams& params_;
+  std::vector<MemoryModule>* modules_;
+  MachineStats* stats_;
+};
+
+}  // namespace platinum::sim
+
+#endif  // SRC_SIM_INTERCONNECT_H_

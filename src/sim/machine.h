@@ -1,0 +1,72 @@
+// The simulated NUMA machine: processors (fiber scheduler), memory modules,
+// interconnect, and global statistics. This is the substrate the PLATINUM
+// kernel runs on; it replaces the BBN Butterfly Plus hardware of the paper.
+#ifndef SRC_SIM_MACHINE_H_
+#define SRC_SIM_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/interconnect.h"
+#include "src/sim/memory_module.h"
+#include "src/sim/params.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace platinum::sim {
+
+class Machine {
+ public:
+  explicit Machine(const MachineParams& params);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const MachineParams& params() const { return params_; }
+  Scheduler& scheduler() { return scheduler_; }
+  MachineStats& stats() { return stats_; }
+  const MachineStats& stats() const { return stats_; }
+  int num_nodes() const { return params_.num_processors; }
+
+  MemoryModule& module(int node);
+
+  // --- Timed operations, charged to the current fiber -----------------------
+  // One 32-bit reference against `target_node` from the current processor.
+  // Returns the latency charged.
+  SimTime Reference(int target_node, AccessKind kind);
+  // As above but on behalf of kernel code touching a kernel structure that
+  // lives on `target_node` (identical costs; separate name for readability).
+  SimTime KernelReference(int target_node, AccessKind kind) {
+    return Reference(target_node, kind);
+  }
+  // Charges pure compute time to the current fiber.
+  void Compute(SimTime duration) { scheduler_.Advance(duration); }
+
+  // Copies a whole page between frames on two nodes with the block-transfer
+  // engine, moving the real bytes and charging the initiator until the
+  // transfer completes.
+  void BlockTransferPage(int src_node, uint32_t src_frame, int dst_node, uint32_t dst_frame);
+
+  // --- Untimed data plumbing -------------------------------------------------
+  uint32_t ReadWordRaw(int node, uint32_t frame, uint32_t word_offset) const;
+  void WriteWordRaw(int node, uint32_t frame, uint32_t word_offset, uint32_t value);
+
+  // Page identifiers for frames allocated outside the coherent-memory system
+  // (baselines that place data by hand). Distinct from Cpage ids, which grow
+  // from 0.
+  uint32_t AllocRawPageId() { return next_raw_page_id_++; }
+
+ private:
+  const MachineParams params_;
+  MachineStats stats_;
+  Scheduler scheduler_;
+  std::vector<MemoryModule> modules_;
+  Interconnect interconnect_;
+  uint32_t next_raw_page_id_ = 0x40000000;
+};
+
+}  // namespace platinum::sim
+
+#endif  // SRC_SIM_MACHINE_H_

@@ -1,0 +1,89 @@
+#include "src/sim/memory_module.h"
+
+#include "src/base/check.h"
+
+namespace platinum::sim {
+
+MemoryModule::MemoryModule(int node, const MachineParams& params)
+    : node_(node),
+      num_frames_(params.frames_per_module),
+      page_size_(params.page_size_bytes),
+      slot_state_(num_frames_, SlotState::kFree),
+      slot_cpage_(num_frames_, kInvalidCpage),
+      data_(static_cast<size_t>(num_frames_) * page_size_, 0),
+      free_frames_(num_frames_) {}
+
+uint32_t MemoryModule::Hash(uint32_t cpage_index) const {
+  // splitmix-style scramble; the paper only requires a hash of the Cpage
+  // index that spreads entries across the table.
+  uint64_t x = cpage_index;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<uint32_t>(x % num_frames_);
+}
+
+std::optional<MemoryModule::ProbeResult> MemoryModule::AllocFrame(uint32_t cpage_index) {
+  PLAT_CHECK_NE(cpage_index, kInvalidCpage);
+  if (free_frames_ == 0) {
+    return std::nullopt;
+  }
+  uint32_t slot = Hash(cpage_index);
+  for (uint32_t probes = 1; probes <= num_frames_; ++probes) {
+    if (slot_state_[slot] != SlotState::kUsed) {
+      slot_state_[slot] = SlotState::kUsed;
+      slot_cpage_[slot] = cpage_index;
+      --free_frames_;
+      return ProbeResult{slot, probes};
+    }
+    PLAT_DCHECK(slot_cpage_[slot] != cpage_index) << "double allocation for cpage";
+    slot = (slot + 1) % num_frames_;
+  }
+  return std::nullopt;
+}
+
+void MemoryModule::FreeFrame(uint32_t frame) {
+  PLAT_CHECK_LT(frame, num_frames_);
+  PLAT_CHECK(slot_state_[frame] == SlotState::kUsed) << "freeing unallocated frame " << frame;
+  slot_state_[frame] = SlotState::kTombstone;
+  slot_cpage_[frame] = kInvalidCpage;
+  ++free_frames_;
+}
+
+std::optional<MemoryModule::ProbeResult> MemoryModule::FindFrame(uint32_t cpage_index) const {
+  uint32_t slot = Hash(cpage_index);
+  for (uint32_t probes = 1; probes <= num_frames_; ++probes) {
+    switch (slot_state_[slot]) {
+      case SlotState::kFree:
+        return std::nullopt;
+      case SlotState::kUsed:
+        if (slot_cpage_[slot] == cpage_index) {
+          return ProbeResult{slot, probes};
+        }
+        break;
+      case SlotState::kTombstone:
+        break;
+    }
+    slot = (slot + 1) % num_frames_;
+  }
+  return std::nullopt;
+}
+
+uint32_t MemoryModule::FrameOwner(uint32_t frame) const {
+  PLAT_CHECK_LT(frame, num_frames_);
+  return slot_state_[frame] == SlotState::kUsed ? slot_cpage_[frame] : kInvalidCpage;
+}
+
+uint8_t* MemoryModule::FrameData(uint32_t frame) {
+  PLAT_CHECK_LT(frame, num_frames_);
+  return data_.data() + static_cast<size_t>(frame) * page_size_;
+}
+
+const uint8_t* MemoryModule::FrameData(uint32_t frame) const {
+  PLAT_CHECK_LT(frame, num_frames_);
+  return data_.data() + static_cast<size_t>(frame) * page_size_;
+}
+
+}  // namespace platinum::sim

@@ -1,0 +1,73 @@
+// A physical memory module on one NUMA node.
+//
+// Each module owns a set of page frames with real backing storage (the
+// simulator stores and moves actual data so that application results can be
+// verified end-to-end), plus the *inverted page table* the paper describes in
+// Section 2.3: an open-addressed table keyed by coherent-page index, so the
+// fault handler can locate or allocate a local copy using only local memory
+// references (Section 3.3).
+#ifndef SRC_SIM_MEMORY_MODULE_H_
+#define SRC_SIM_MEMORY_MODULE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/sim/params.h"
+#include "src/sim/time.h"
+
+namespace platinum::sim {
+
+inline constexpr uint32_t kInvalidCpage = UINT32_MAX;
+
+class MemoryModule {
+ public:
+  // Result of an inverted-page-table operation: the frame plus the number of
+  // table slots probed (each probe is one local memory reference).
+  struct ProbeResult {
+    uint32_t frame = 0;
+    uint32_t probes = 0;
+  };
+
+  MemoryModule(int node, const MachineParams& params);
+
+  int node() const { return node_; }
+  uint32_t num_frames() const { return num_frames_; }
+  uint32_t free_frames() const { return free_frames_; }
+
+  // Allocates a frame for `cpage_index`, placing it near hash(cpage_index) in
+  // the inverted page table. Returns nullopt when the module is full.
+  std::optional<ProbeResult> AllocFrame(uint32_t cpage_index);
+  // Releases `frame`; its slot becomes a tombstone so later probes still find
+  // entries placed behind it.
+  void FreeFrame(uint32_t frame);
+  // Finds the frame backing `cpage_index`, if any.
+  std::optional<ProbeResult> FindFrame(uint32_t cpage_index) const;
+  // Which coherent page a frame backs, or kInvalidCpage.
+  uint32_t FrameOwner(uint32_t frame) const;
+
+  // Raw backing storage of a frame (page_size bytes).
+  uint8_t* FrameData(uint32_t frame);
+  const uint8_t* FrameData(uint32_t frame) const;
+
+  // Bus occupancy bookkeeping: the virtual time until which this module's bus
+  // is busy. Maintained by the Interconnect.
+  SimTime bus_busy_until = 0;
+
+ private:
+  enum class SlotState : uint8_t { kFree, kUsed, kTombstone };
+
+  uint32_t Hash(uint32_t cpage_index) const;
+
+  const int node_;
+  const uint32_t num_frames_;
+  const uint32_t page_size_;
+  std::vector<SlotState> slot_state_;
+  std::vector<uint32_t> slot_cpage_;
+  std::vector<uint8_t> data_;
+  uint32_t free_frames_;
+};
+
+}  // namespace platinum::sim
+
+#endif  // SRC_SIM_MEMORY_MODULE_H_

@@ -1,0 +1,224 @@
+#include "src/sim/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace platinum::sim {
+
+Scheduler* Scheduler::active_ = nullptr;
+
+Scheduler::Scheduler(int num_processors, SimTime quantum, uint32_t fiber_stack_bytes)
+    : quantum_(quantum),
+      fiber_stack_bytes_(fiber_stack_bytes),
+      processor_available_(num_processors, 0),
+      pending_interrupt_cost_(num_processors, 0) {
+  PLAT_CHECK_GT(num_processors, 0);
+  PLAT_CHECK_GT(quantum, SimTime{0});
+}
+
+Scheduler::~Scheduler() = default;
+
+Fiber* Scheduler::Spawn(int processor, std::string name, std::function<void()> body,
+                        bool daemon) {
+  PLAT_CHECK_GE(processor, 0);
+  PLAT_CHECK_LT(processor, num_processors());
+  auto fiber = std::make_unique<Fiber>(static_cast<uint32_t>(fibers_.size()), processor,
+                                       std::move(name), std::move(body), fiber_stack_bytes_,
+                                       daemon);
+  Fiber* raw = fiber.get();
+  makecontext(&raw->context_, reinterpret_cast<void (*)()>(&Scheduler::Trampoline), 0);
+  // A fiber spawned by a running fiber cannot begin before its spawner's
+  // current virtual time.
+  raw->clock_ = (current_ != nullptr) ? current_->clock_ : global_now_;
+  fibers_.push_back(std::move(fiber));
+  if (!daemon) {
+    ++live_non_daemon_;
+  }
+  MakeReady(raw);
+  return raw;
+}
+
+void Scheduler::MakeReady(Fiber* fiber) {
+  fiber->state_ = Fiber::State::kReady;
+  ready_.push(ReadyEntry{fiber->clock_, next_seq_++, fiber});
+}
+
+void Scheduler::Run() {
+  PLAT_CHECK(!running_) << "Run() is not reentrant";
+  PLAT_CHECK(current_ == nullptr);
+  running_ = true;
+  Scheduler* previous_active = active_;
+  active_ = this;
+
+  while (live_non_daemon_ > 0) {
+    PLAT_CHECK(!ready_.empty()) << "deadlock: " << live_non_daemon_
+                                << " non-daemon fibers alive but none runnable";
+    ReadyEntry entry = ready_.top();
+    ready_.pop();
+    Fiber* fiber = entry.fiber;
+    PLAT_CHECK(fiber->state_ == Fiber::State::kReady);
+
+    // Serialize fibers sharing a processor, and deliver any pending interrupt
+    // handling cost to whoever occupies the node next.
+    int processor = fiber->processor_;
+    SimTime start = std::max(fiber->clock_, processor_available_[processor]);
+    start += pending_interrupt_cost_[processor];
+    pending_interrupt_cost_[processor] = 0;
+
+    fiber->clock_ = start;
+    fiber->resumed_at_ = start;
+    fiber->state_ = Fiber::State::kRunning;
+    global_now_ = std::max(global_now_, start);
+    current_ = fiber;
+    ++switches_;
+    PLAT_CHECK_EQ(swapcontext(&main_context_, &fiber->context_), 0);
+    current_ = nullptr;
+  }
+
+  active_ = previous_active;
+  running_ = false;
+}
+
+void Scheduler::Trampoline() {
+  PLAT_CHECK(active_ != nullptr);
+  active_->RunFiberBody();
+}
+
+void Scheduler::RunFiberBody() {
+  Fiber* self = current_;
+  PLAT_CHECK(self != nullptr);
+  self->body_();
+  FinishCurrent();
+  PLAT_CHECK(false) << "resumed a finished fiber";
+}
+
+void Scheduler::FinishCurrent() {
+  Fiber* self = current_;
+  self->state_ = Fiber::State::kDone;
+  if (!self->daemon_) {
+    --live_non_daemon_;
+  }
+  for (Fiber* joiner : self->joiners_) {
+    Wake(joiner, self->clock_);
+  }
+  self->joiners_.clear();
+  processor_available_[self->processor_] =
+      std::max(processor_available_[self->processor_], self->clock_);
+  global_now_ = std::max(global_now_, self->clock_);
+  // Return to the dispatch loop for good.
+  PLAT_CHECK_EQ(swapcontext(&self->context_, &main_context_), 0);
+}
+
+SimTime Scheduler::now() const {
+  return (current_ != nullptr) ? current_->clock_ : global_now_;
+}
+
+int Scheduler::current_processor() const {
+  PLAT_CHECK(current_ != nullptr) << "no fiber is running";
+  return current_->processor_;
+}
+
+void Scheduler::Advance(SimTime duration) {
+  if (current_ == nullptr) {
+    return;  // machine setup before Run(); costs nothing in virtual time
+  }
+  current_->clock_ += duration;
+}
+
+void Scheduler::AdvanceTo(SimTime t) {
+  if (current_ == nullptr) {
+    return;
+  }
+  current_->clock_ = std::max(current_->clock_, t);
+}
+
+bool Scheduler::MaybeYield() {
+  if (current_ == nullptr) {
+    return false;
+  }
+  if (current_->clock_ - current_->resumed_at_ < quantum_) {
+    return false;
+  }
+  Yield();
+  return true;
+}
+
+void Scheduler::Yield() {
+  Fiber* self = current_;
+  PLAT_CHECK(self != nullptr);
+  MakeReady(self);
+  SwitchOut(/*release_processor_at=*/self->clock_);
+}
+
+void Scheduler::Sleep(SimTime duration) {
+  Fiber* self = current_;
+  PLAT_CHECK(self != nullptr);
+  // The processor is free while this fiber sleeps.
+  SimTime release = self->clock_;
+  self->clock_ += duration;
+  MakeReady(self);
+  SwitchOut(release);
+}
+
+void Scheduler::Block() {
+  Fiber* self = current_;
+  PLAT_CHECK(self != nullptr);
+  self->state_ = Fiber::State::kBlocked;
+  SwitchOut(/*release_processor_at=*/self->clock_);
+  PLAT_CHECK(self->state_ == Fiber::State::kRunning);
+}
+
+void Scheduler::Wake(Fiber* fiber, SimTime not_before) {
+  PLAT_CHECK(fiber != nullptr);
+  PLAT_CHECK(fiber->state_ == Fiber::State::kBlocked)
+      << "Wake on fiber '" << fiber->name() << "' in state " << static_cast<int>(fiber->state_);
+  fiber->clock_ = std::max(fiber->clock_, not_before);
+  MakeReady(fiber);
+}
+
+void Scheduler::Join(Fiber* fiber) {
+  Fiber* self = current_;
+  PLAT_CHECK(self != nullptr) << "Join must be called from a fiber";
+  PLAT_CHECK(fiber != self);
+  if (fiber->state_ == Fiber::State::kDone) {
+    self->clock_ = std::max(self->clock_, fiber->clock_);
+    return;
+  }
+  fiber->joiners_.push_back(self);
+  Block();
+}
+
+void Scheduler::MigrateCurrent(int new_processor) {
+  Fiber* self = current_;
+  PLAT_CHECK(self != nullptr);
+  PLAT_CHECK_GE(new_processor, 0);
+  PLAT_CHECK_LT(new_processor, num_processors());
+  if (new_processor == self->processor_) {
+    return;
+  }
+  processor_available_[self->processor_] =
+      std::max(processor_available_[self->processor_], self->clock_);
+  self->processor_ = new_processor;
+  // Re-enter the run queue so the arrival serializes against the new node.
+  Yield();
+}
+
+void Scheduler::AddInterruptCost(int processor, SimTime cost) {
+  PLAT_CHECK_GE(processor, 0);
+  PLAT_CHECK_LT(processor, num_processors());
+  pending_interrupt_cost_[processor] += cost;
+}
+
+void Scheduler::SwitchOut(SimTime release_processor_at) {
+  Fiber* self = current_;
+  processor_available_[self->processor_] =
+      std::max(processor_available_[self->processor_], release_processor_at);
+  // Record only time actually executed: a sleeping fiber's clock already
+  // points at its future wake-up and must not drag global_now forward.
+  global_now_ = std::max(global_now_, release_processor_at);
+  PLAT_CHECK_EQ(swapcontext(&self->context_, &main_context_), 0);
+}
+
+}  // namespace platinum::sim

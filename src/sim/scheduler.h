@@ -1,0 +1,126 @@
+// Deterministic virtual-time scheduler.
+//
+// The scheduler owns all fibers and always resumes the runnable fiber with
+// the smallest virtual clock (ties broken by spawn order), bounded by a yield
+// quantum. Fibers bound to the same simulated processor are serialized: a
+// fiber cannot start running on processor P before the previous occupant of P
+// released it, which models kernel threads timesharing a node.
+#ifndef SRC_SIM_SCHEDULER_H_
+#define SRC_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/sim/fiber.h"
+#include "src/sim/time.h"
+
+namespace platinum::sim {
+
+class Scheduler {
+ public:
+  // `quantum` bounds how far a fiber may run ahead before yielding; it is the
+  // maximum clock skew between concurrently simulated processors.
+  Scheduler(int num_processors, SimTime quantum, uint32_t fiber_stack_bytes);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Creates a fiber bound to `processor`. Daemon fibers do not keep Run()
+  // alive. May be called from inside or outside a fiber; a fiber spawned from
+  // another starts no earlier than its spawner's current clock.
+  Fiber* Spawn(int processor, std::string name, std::function<void()> body, bool daemon = false);
+
+  // Runs until every non-daemon fiber has finished. Aborts on deadlock
+  // (non-daemon fibers alive but nothing runnable).
+  void Run();
+
+  // --- Introspection ---------------------------------------------------------
+  Fiber* current() const { return current_; }
+  // Virtual time at the calling context: the current fiber's clock, or the
+  // global high-water mark when called outside any fiber.
+  SimTime now() const;
+  SimTime global_now() const { return global_now_; }
+  int current_processor() const;
+  int num_processors() const { return static_cast<int>(processor_available_.size()); }
+  uint64_t context_switches() const { return switches_; }
+
+  // --- Time accounting (current fiber) --------------------------------------
+  // Charges `duration` of computation/latency to the current fiber.
+  void Advance(SimTime duration);
+  // Moves the current fiber's clock forward to at least `t` (waiting on an
+  // external resource). No-op if already past `t`.
+  void AdvanceTo(SimTime t);
+
+  // --- Cooperative scheduling ------------------------------------------------
+  // Yields if the current fiber has exceeded its quantum. Returns true if a
+  // switch happened.
+  bool MaybeYield();
+  void Yield();
+  // Advances the clock by `duration` without occupying the processor, letting
+  // other fibers bound to the same processor run meanwhile.
+  void Sleep(SimTime duration);
+  // Parks the current fiber until another fiber calls Wake on it.
+  void Block();
+  // Makes `fiber` runnable again, no earlier than virtual time `not_before`.
+  void Wake(Fiber* fiber, SimTime not_before);
+  // Blocks the current fiber until `fiber` finishes. Returns immediately if it
+  // already has; the caller's clock is advanced to at least the finish time.
+  void Join(Fiber* fiber);
+  // Rebinds the current fiber to another processor (thread migration). The
+  // fiber waits for the target processor to become available.
+  void MigrateCurrent(int new_processor);
+
+  // --- Interrupt modeling -----------------------------------------------------
+  // Charges `cost` to whichever fiber next occupies `processor` (the
+  // interrupted node spends this time in its IPI handler).
+  void AddInterruptCost(int processor, SimTime cost);
+
+ private:
+  struct ReadyEntry {
+    SimTime key;
+    uint64_t seq;
+    Fiber* fiber;
+    bool operator>(const ReadyEntry& other) const {
+      if (key != other.key) {
+        return key > other.key;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  void MakeReady(Fiber* fiber);
+  // Suspends the current fiber (which must already have updated its state) and
+  // returns to the dispatch loop. `release_processor_at` is when the fiber
+  // stops occupying its processor.
+  void SwitchOut(SimTime release_processor_at);
+  static void Trampoline();
+  void RunFiberBody();
+  void FinishCurrent();
+
+  const SimTime quantum_;
+  const uint32_t fiber_stack_bytes_;
+
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, std::greater<ReadyEntry>> ready_;
+  std::vector<SimTime> processor_available_;
+  std::vector<SimTime> pending_interrupt_cost_;
+
+  Fiber* current_ = nullptr;
+  ucontext_t main_context_;
+  SimTime global_now_ = 0;
+  int live_non_daemon_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t switches_ = 0;
+  bool running_ = false;
+
+  static Scheduler* active_;
+};
+
+}  // namespace platinum::sim
+
+#endif  // SRC_SIM_SCHEDULER_H_

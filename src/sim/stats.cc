@@ -1,0 +1,54 @@
+#include "src/sim/stats.h"
+
+#include <sstream>
+
+namespace platinum::sim {
+
+std::string MachineStats::ToString() const {
+  std::ostringstream out;
+  out << "references: local r/w " << local_reads << "/" << local_writes << ", remote r/w "
+      << remote_reads << "/" << remote_writes << "\n";
+  out << "atc: hits " << atc_hits << ", misses " << atc_misses << "\n";
+  out << "faults: " << faults << " (read " << read_faults << ", write " << write_faults << ")\n";
+  out << "actions: fills " << initial_fills << ", replications " << replications
+      << ", migrations " << migrations << ", remote-maps " << remote_maps << "\n";
+  out << "policy: freezes " << freezes << ", thaws " << thaws << "\n";
+  out << "shootdowns: " << shootdowns << " rounds, " << ipis_sent << " IPIs, "
+      << mappings_invalidated << " invalidated, " << mappings_restricted << " restricted, "
+      << pages_freed << " pages freed\n";
+  out << "block transfers: " << block_transfers << " (" << block_words_copied << " words)\n";
+  out << "contention: module wait " << ToMilliseconds(module_wait_ns) << " ms, handler wait "
+      << ToMilliseconds(fault_handler_wait_ns) << " ms\n";
+  return out.str();
+}
+
+MachineStats operator-(const MachineStats& a, const MachineStats& b) {
+  MachineStats d;
+  d.local_reads = a.local_reads - b.local_reads;
+  d.local_writes = a.local_writes - b.local_writes;
+  d.remote_reads = a.remote_reads - b.remote_reads;
+  d.remote_writes = a.remote_writes - b.remote_writes;
+  d.atc_hits = a.atc_hits - b.atc_hits;
+  d.atc_misses = a.atc_misses - b.atc_misses;
+  d.faults = a.faults - b.faults;
+  d.read_faults = a.read_faults - b.read_faults;
+  d.write_faults = a.write_faults - b.write_faults;
+  d.replications = a.replications - b.replications;
+  d.migrations = a.migrations - b.migrations;
+  d.remote_maps = a.remote_maps - b.remote_maps;
+  d.initial_fills = a.initial_fills - b.initial_fills;
+  d.freezes = a.freezes - b.freezes;
+  d.thaws = a.thaws - b.thaws;
+  d.shootdowns = a.shootdowns - b.shootdowns;
+  d.ipis_sent = a.ipis_sent - b.ipis_sent;
+  d.mappings_invalidated = a.mappings_invalidated - b.mappings_invalidated;
+  d.mappings_restricted = a.mappings_restricted - b.mappings_restricted;
+  d.pages_freed = a.pages_freed - b.pages_freed;
+  d.block_transfers = a.block_transfers - b.block_transfers;
+  d.block_words_copied = a.block_words_copied - b.block_words_copied;
+  d.module_wait_ns = a.module_wait_ns - b.module_wait_ns;
+  d.fault_handler_wait_ns = a.fault_handler_wait_ns - b.fault_handler_wait_ns;
+  return d;
+}
+
+}  // namespace platinum::sim

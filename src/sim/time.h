@@ -1,0 +1,39 @@
+// Virtual time for the NUMA machine simulation.
+//
+// All latencies in the simulator are expressed in nanoseconds of simulated
+// (virtual) time. Each simulated processor carries its own clock; the
+// scheduler in src/sim/scheduler.h keeps the clocks consistent.
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace platinum::sim {
+
+// Nanoseconds of simulated time since machine boot.
+using SimTime = uint64_t;
+
+// Signed durations are occasionally useful for differences.
+using SimDuration = int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+// Converts a virtual time to fractional milliseconds (for reporting).
+inline constexpr double ToMilliseconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+inline constexpr double ToMicroseconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+inline constexpr double ToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace platinum::sim
+
+#endif  // SRC_SIM_TIME_H_

@@ -1,0 +1,19 @@
+#include "src/vm/memory_object.h"
+
+#include "src/base/check.h"
+
+namespace platinum::vm {
+
+uint32_t MemoryObject::cpage(uint32_t index) const {
+  PLAT_CHECK_LT(index, cpages_.size());
+  PLAT_CHECK_NE(cpages_[index], UINT32_MAX) << "object page without a coherent page";
+  return cpages_[index];
+}
+
+void MemoryObject::set_cpage(uint32_t index, uint32_t cpage_id) {
+  PLAT_CHECK_LT(index, cpages_.size());
+  PLAT_CHECK_EQ(cpages_[index], UINT32_MAX) << "object page already has a coherent page";
+  cpages_[index] = cpage_id;
+}
+
+}  // namespace platinum::vm

@@ -1,0 +1,38 @@
+// Memory objects (Section 1.1).
+//
+// A memory object is an abstraction of an ordered list of memory pages with
+// a global name. A range of its pages may be bound to any page-aligned
+// virtual range of any address space, making memory objects the unit of
+// data- and code-sharing between address spaces.
+#ifndef SRC_VM_MEMORY_OBJECT_H_
+#define SRC_VM_MEMORY_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace platinum::vm {
+
+class MemoryObject {
+ public:
+  MemoryObject(uint32_t id, std::string name, uint32_t num_pages)
+      : id_(id), name_(std::move(name)), cpages_(num_pages, UINT32_MAX) {}
+
+  uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  uint32_t num_pages() const { return static_cast<uint32_t>(cpages_.size()); }
+
+  // The coherent page backing object page `index` (assigned at creation by
+  // the kernel).
+  uint32_t cpage(uint32_t index) const;
+  void set_cpage(uint32_t index, uint32_t cpage_id);
+
+ private:
+  const uint32_t id_;
+  const std::string name_;
+  std::vector<uint32_t> cpages_;
+};
+
+}  // namespace platinum::vm
+
+#endif  // SRC_VM_MEMORY_OBJECT_H_

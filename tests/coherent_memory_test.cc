@@ -1,0 +1,429 @@
+// Protocol tests for the coherent memory system: state transitions,
+// replication, migration, freezing, defrost, shootdowns, and end-to-end
+// coherence under random workloads.
+#include "src/mem/coherent_memory.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "src/kernel/report.h"
+#include "src/runtime/parallel.h"
+#include "src/runtime/shared_array.h"
+#include "src/runtime/zone_allocator.h"
+#include "tests/test_util.h"
+
+namespace platinum {
+namespace {
+
+using mem::CpageState;
+using sim::kMicrosecond;
+using sim::kMillisecond;
+using sim::SimTime;
+using test::TestSystem;
+
+class CoherentMemoryTest : public ::testing::Test {
+ protected:
+  CoherentMemoryTest() : sys_(4) {
+    space_ = sys_.kernel.CreateAddressSpace("test-space");
+    zone_ = std::make_unique<rt::ZoneAllocator>(&sys_.kernel, space_);
+  }
+
+  // Allocates a one-page array and returns it with its cpage id.
+  rt::SharedArray<uint32_t> NewPage(const std::string& name, uint32_t* cpage_id) {
+    auto array = rt::SharedArray<uint32_t>::Create(*zone_, name, 4);
+    *cpage_id = sys_.kernel.FindMemoryObject(name)->cpage(0);
+    return array;
+  }
+
+  const mem::Cpage& page(uint32_t id) { return sys_.kernel.memory().cpages().at(id); }
+
+  // Spawns a thread on `processor` at virtual time `delay` running `body`.
+  // The thread is created *at* the target time (by a timer fiber), so the
+  // address space is only active on the processor while the body runs —
+  // important for tests that depend on the activation census.
+  void At(int processor, SimTime delay, std::function<void()> body) {
+    sys_.machine.scheduler().Spawn(
+        processor, "timer", [this, processor, delay, body = std::move(body)] {
+          sys_.machine.scheduler().Sleep(delay);
+          kernel::Thread* thread =
+              sys_.kernel.SpawnThread(space_, processor, "step", std::move(body));
+          sys_.kernel.JoinThread(thread);
+        });
+  }
+
+  void RunAndCheck() {
+    sys_.kernel.Run();
+    sys_.kernel.memory().CheckInvariants();
+  }
+
+  TestSystem sys_;
+  vm::AddressSpace* space_ = nullptr;
+  std::unique_ptr<rt::ZoneAllocator> zone_;
+};
+
+TEST_F(CoherentMemoryTest, FirstWriteFillsLocallyAndModifies) {
+  uint32_t id;
+  auto arr = NewPage("p", &id);
+  At(1, 0, [&] {
+    arr.Set(0, 77);
+    EXPECT_EQ(arr.Get(0), 77u);  // read through the same RW mapping: no fault
+  });
+  RunAndCheck();
+  EXPECT_EQ(page(id).state(), CpageState::kModified);
+  ASSERT_EQ(page(id).copies().size(), 1u);
+  EXPECT_EQ(page(id).copies()[0].module, 1);
+  EXPECT_EQ(sys_.machine.stats().initial_fills, 1u);
+  EXPECT_EQ(sys_.machine.stats().faults, 1u);
+}
+
+TEST_F(CoherentMemoryTest, FirstReadFillsPresent1) {
+  uint32_t id;
+  auto arr = NewPage("p", &id);
+  At(2, 0, [&] { EXPECT_EQ(arr.Get(1), 0u); });  // zero-filled
+  RunAndCheck();
+  EXPECT_EQ(page(id).state(), CpageState::kPresent1);
+  EXPECT_EQ(page(id).copies()[0].module, 2);
+}
+
+TEST_F(CoherentMemoryTest, ReadMissReplicatesModifiedPage) {
+  uint32_t id;
+  auto arr = NewPage("p", &id);
+  At(0, 0, [&] { arr.Set(0, 123); });
+  At(1, 2 * kMillisecond, [&] { EXPECT_EQ(arr.Get(0), 123u); });
+  RunAndCheck();
+  // modified -> present1 (restrict) -> present+ (replicate)
+  EXPECT_EQ(page(id).state(), CpageState::kPresentPlus);
+  EXPECT_EQ(page(id).copies().size(), 2u);
+  EXPECT_TRUE(page(id).HasCopyOn(0));
+  EXPECT_TRUE(page(id).HasCopyOn(1));
+  EXPECT_EQ(page(id).write_mappings(), 0u);
+  EXPECT_EQ(sys_.machine.stats().replications, 1u);
+  EXPECT_EQ(sys_.machine.stats().mappings_restricted, 1u);
+  EXPECT_FALSE(page(id).ever_invalidated());  // restriction is not invalidation
+}
+
+TEST_F(CoherentMemoryTest, WriteMissOnPresentPlusInvalidatesReplicas) {
+  uint32_t id;
+  auto arr = NewPage("p", &id);
+  At(0, 0, [&] { arr.Set(0, 5); });
+  At(1, 2 * kMillisecond, [&] { arr.Get(0); });
+  At(0, 4 * kMillisecond, [&] { arr.Set(0, 6); });
+  RunAndCheck();
+  EXPECT_EQ(page(id).state(), CpageState::kModified);
+  EXPECT_EQ(page(id).copies().size(), 1u);
+  EXPECT_EQ(page(id).copies()[0].module, 0);
+  EXPECT_TRUE(page(id).ever_invalidated());
+  EXPECT_EQ(sys_.machine.stats().pages_freed, 1u);
+  EXPECT_EQ(sys_.machine.stats().mappings_invalidated, 1u);
+}
+
+TEST_F(CoherentMemoryTest, RecentInvalidationFreezesPage) {
+  uint32_t id;
+  auto arr = NewPage("p", &id);
+  At(0, 0, [&] { arr.Set(0, 5); });
+  At(1, 2 * kMillisecond, [&] { arr.Get(0); });           // replicate
+  At(0, 4 * kMillisecond, [&] { arr.Set(0, 6); });        // invalidate
+  At(1, 6 * kMillisecond, [&] { EXPECT_EQ(arr.Get(0), 6u); });  // within t1: freeze
+  RunAndCheck();
+  EXPECT_TRUE(page(id).frozen());
+  EXPECT_EQ(sys_.kernel.memory().frozen_count(), 1u);
+  EXPECT_EQ(sys_.machine.stats().freezes, 1u);
+  EXPECT_EQ(sys_.machine.stats().remote_maps, 1u);
+  // The frozen page keeps its single copy on the writer's node; the reader
+  // has a remote read mapping.
+  EXPECT_EQ(page(id).copies().size(), 1u);
+  EXPECT_EQ(page(id).copies()[0].module, 0);
+}
+
+TEST_F(CoherentMemoryTest, FrozenPageRemoteWriteSharesSingleCopy) {
+  uint32_t id;
+  auto arr = NewPage("p", &id);
+  At(0, 0, [&] { arr.Set(0, 1); });
+  At(1, 1 * kMillisecond, [&] { arr.Set(0, 2); });   // migrate (no one else mapped? p0 is)
+  At(0, 2 * kMillisecond, [&] { arr.Set(0, 3); });   // recent invalidation: remote RW map
+  At(1, 3 * kMillisecond, [&] { EXPECT_EQ(arr.Get(0), 3u); });
+  RunAndCheck();
+  EXPECT_EQ(page(id).state(), CpageState::kModified);
+  EXPECT_EQ(page(id).copies().size(), 1u);
+  // Both processors ended up with mappings to the single copy.
+  EXPECT_GE(page(id).write_mappings(), 1u);
+  EXPECT_TRUE(page(id).frozen());
+}
+
+TEST_F(CoherentMemoryTest, MigrationMovesDataAfterQuiescence) {
+  uint32_t id;
+  auto arr = NewPage("p", &id);
+  At(0, 0, [&] { arr.Set(2, 42); });
+  // After t1 with no invalidations the write migrates the page.
+  At(3, 15 * kMillisecond, [&] {
+    arr.Set(3, 43);
+    EXPECT_EQ(arr.Get(2), 42u);  // data came along
+  });
+  RunAndCheck();
+  EXPECT_EQ(page(id).state(), CpageState::kModified);
+  ASSERT_EQ(page(id).copies().size(), 1u);
+  EXPECT_EQ(page(id).copies()[0].module, 3);
+  EXPECT_EQ(sys_.machine.stats().migrations, 1u);
+  EXPECT_EQ(sys_.machine.stats().pages_freed, 1u);
+}
+
+TEST_F(CoherentMemoryTest, Present1WriteUpgradeNeedsNoShootdown) {
+  uint32_t id;
+  auto arr = NewPage("p", &id);
+  At(2, 0, [&] {
+    arr.Get(0);     // present1, read-only mapping
+    arr.Set(0, 9);  // upgrade in place
+  });
+  RunAndCheck();
+  EXPECT_EQ(page(id).state(), CpageState::kModified);
+  EXPECT_EQ(sys_.machine.stats().ipis_sent, 0u);
+  EXPECT_EQ(sys_.machine.stats().pages_freed, 0u);
+  EXPECT_EQ(sys_.machine.stats().faults, 2u);
+}
+
+TEST_F(CoherentMemoryTest, DefrostThawsAndAllowsReplication) {
+  uint32_t id;
+  auto arr = NewPage("p", &id);
+  At(0, 0, [&] { arr.Set(0, 5); });
+  At(1, 2 * kMillisecond, [&] { arr.Get(0); });
+  At(0, 4 * kMillisecond, [&] { arr.Set(0, 6); });
+  At(1, 6 * kMillisecond, [&] { arr.Get(0); });  // freezes
+  RunAndCheck();
+  ASSERT_TRUE(page(id).frozen());
+
+  sys_.kernel.memory().ThawAllFrozen();
+  EXPECT_FALSE(page(id).frozen());
+  EXPECT_EQ(page(id).state(), CpageState::kPresent1);
+  EXPECT_EQ(page(id).write_mappings(), 0u);
+  EXPECT_EQ(sys_.machine.stats().thaws, 1u);
+  sys_.kernel.memory().CheckInvariants();
+
+  // Long after the last invalidation, a read replicates again.
+  At(1, 20 * kMillisecond, [&] { EXPECT_EQ(arr.Get(0), 6u); });
+  RunAndCheck();
+  EXPECT_EQ(page(id).state(), CpageState::kPresentPlus);
+}
+
+TEST_F(CoherentMemoryTest, DefrostDaemonThawsAutomatically) {
+  uint32_t id;
+  auto arr = NewPage("p", &id);
+  At(0, 0, [&] { arr.Set(0, 5); });
+  At(1, 2 * kMillisecond, [&] { arr.Get(0); });
+  At(0, 4 * kMillisecond, [&] { arr.Set(0, 6); });
+  At(1, 6 * kMillisecond, [&] { arr.Get(0); });  // freezes
+  // Keep the machine alive past the defrost period t2.
+  At(2, sys_.machine.params().t2_defrost_period_ns + 10 * kMillisecond, [&] {});
+  RunAndCheck();
+  EXPECT_FALSE(page(id).frozen());
+  EXPECT_GE(sys_.machine.stats().thaws, 1u);
+}
+
+TEST_F(CoherentMemoryTest, SharedObjectAcrossAddressSpaces) {
+  // The same object mapped into two address spaces stays coherent.
+  auto* object = sys_.kernel.CreateMemoryObject("shared", 1);
+  auto* space_b = sys_.kernel.CreateAddressSpace("space-b");
+  sys_.kernel.Map(space_, object, 0, 1, 100, hw::Rights::kReadWrite);
+  sys_.kernel.Map(space_b, object, 0, 1, 200, hw::Rights::kReadWrite);
+  uint32_t va_a = 100 * sys_.kernel.page_size();
+  uint32_t va_b = 200 * sys_.kernel.page_size();
+
+  sys_.kernel.SpawnThread(space_, 0, "writer",
+                          [&] { sys_.kernel.WriteWord(space_, va_a, 31337); });
+  sys_.kernel.SpawnThread(space_b, 1, "reader", [&] {
+    sys_.machine.scheduler().Sleep(2 * kMillisecond);
+    EXPECT_EQ(sys_.kernel.ReadWord(space_b, va_b + 0), 31337u);
+  });
+  RunAndCheck();
+  const mem::Cpage& shared = page(object->cpage(0));
+  EXPECT_EQ(shared.mappers().size(), 2u);
+  EXPECT_EQ(shared.state(), CpageState::kPresentPlus);
+}
+
+TEST_F(CoherentMemoryTest, LocalCopyFoundThroughOtherAddressSpace) {
+  // Space B on the *same node* reuses the local physical copy instead of
+  // replicating again.
+  auto* object = sys_.kernel.CreateMemoryObject("shared", 1);
+  auto* space_b = sys_.kernel.CreateAddressSpace("space-b");
+  sys_.kernel.Map(space_, object, 0, 1, 100, hw::Rights::kReadWrite);
+  sys_.kernel.Map(space_b, object, 0, 1, 50, hw::Rights::kReadWrite);
+
+  sys_.kernel.SpawnThread(space_, 2, "writer", [&] {
+    sys_.kernel.WriteWord(space_, 100 * sys_.kernel.page_size(), 7);
+  });
+  sys_.kernel.SpawnThread(space_b, 2, "reader", [&] {
+    sys_.machine.scheduler().Sleep(1 * kMillisecond);
+    EXPECT_EQ(sys_.kernel.ReadWord(space_b, 50 * sys_.kernel.page_size()), 7u);
+  });
+  RunAndCheck();
+  EXPECT_EQ(sys_.machine.stats().replications, 0u);
+  EXPECT_EQ(page(object->cpage(0)).copies().size(), 1u);
+}
+
+TEST_F(CoherentMemoryTest, ShootdownInterruptsOnlyReferencingActiveProcessors) {
+  uint32_t id;
+  auto arr = NewPage("p", &id);
+  At(0, 0, [&] { arr.Set(0, 1); });
+  // Processors 1 and 2 replicate; processor 3 runs a thread that never
+  // touches the page (active but not referencing).
+  At(1, 2 * kMillisecond, [&] {
+    arr.Get(0);
+    sys_.machine.scheduler().Sleep(60 * kMillisecond);
+  });
+  At(2, 2 * kMillisecond, [&] {
+    arr.Get(0);
+    sys_.machine.scheduler().Sleep(60 * kMillisecond);
+  });
+  At(3, 2 * kMillisecond, [&] { sys_.machine.scheduler().Sleep(60 * kMillisecond); });
+  At(0, 20 * kMillisecond, [&] { arr.Set(0, 2); });  // write miss? no: local copy upgrade
+  RunAndCheck();
+  // Only processors 1 and 2 were interrupted; 0 is the initiator, 3 holds no
+  // translation (Mach would have interrupted it too).
+  EXPECT_EQ(sys_.machine.stats().ipis_sent, 2u);
+}
+
+TEST_F(CoherentMemoryTest, InactiveProcessorGetsCmapMessageNotIpi) {
+  uint32_t id;
+  auto arr = NewPage("p", &id);
+  At(0, 0, [&] { arr.Set(0, 1); });
+  // Processor 1 replicates, then its thread exits (deactivating the space).
+  At(1, 2 * kMillisecond, [&] { arr.Get(0); });
+  At(0, 20 * kMillisecond, [&] { arr.Set(0, 2); });
+  RunAndCheck();
+  EXPECT_EQ(sys_.machine.stats().ipis_sent, 0u);
+  // The change was queued for processor 1 to apply at next activation.
+  ASSERT_EQ(sys_.kernel.memory().cmap(space_->id()).messages().size(), 1u);
+  EXPECT_EQ(sys_.kernel.memory().cmap(space_->id()).messages()[0].target_mask, uint64_t{1} << 1);
+
+  // Activating the space on processor 1 drains the queue.
+  At(1, 30 * kMillisecond, [&] {});
+  RunAndCheck();
+  EXPECT_TRUE(sys_.kernel.memory().cmap(space_->id()).messages().empty());
+}
+
+TEST_F(CoherentMemoryTest, ProtectionAndUnmappedFaults) {
+  auto* object = sys_.kernel.CreateMemoryObject("ro", 1);
+  sys_.kernel.Map(space_, object, 0, 1, 300, hw::Rights::kRead);
+  uint32_t va = 300 * sys_.kernel.page_size();
+  At(0, 0, [&] {
+    auto& memory = sys_.kernel.memory();
+    auto write = memory.Access(space_->id(), 300, 0, sim::AccessKind::kWrite, 1);
+    EXPECT_EQ(write.outcome, mem::AccessOutcome::kProtection);
+    auto read = memory.Access(space_->id(), 300, 0, sim::AccessKind::kRead);
+    EXPECT_EQ(read.outcome, mem::AccessOutcome::kOk);
+    auto unmapped = memory.Access(space_->id(), 9999, 0, sim::AccessKind::kRead);
+    EXPECT_EQ(unmapped.outcome, mem::AccessOutcome::kNoMapping);
+    (void)va;
+  });
+  RunAndCheck();
+}
+
+TEST_F(CoherentMemoryTest, UnbindRemovesTranslationsAndMapper) {
+  uint32_t id;
+  auto arr = NewPage("p", &id);
+  At(0, 0, [&] { arr.Set(0, 1); });
+  At(1, 2 * kMillisecond, [&] { arr.Get(0); });
+  RunAndCheck();
+  uint32_t vpn = arr.base_va() / sys_.kernel.page_size();
+  sys_.kernel.Unmap(space_, vpn, 1);
+  EXPECT_TRUE(page(id).mappers().empty());
+  EXPECT_EQ(page(id).write_mappings(), 0u);
+  sys_.kernel.memory().CheckInvariants();
+}
+
+// End-to-end coherence: random reads/writes from all processors must always
+// observe the value of the most recent write in simulation order.
+class CoherenceRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoherenceRandomTest, MatchesShadowModel) {
+  const int seed = GetParam();
+  TestSystem sys(4);
+  auto* space = sys.kernel.CreateAddressSpace("random");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  constexpr int kPages = 6;
+  constexpr int kWordsPerPage = 8;
+  auto arr = rt::SharedArray<uint32_t>::Create(
+      zone, "data", kPages * sys.kernel.page_size() / 4);
+
+  // Shadow model updated in fiber-execution order.
+  std::vector<uint32_t> shadow(kPages * kWordsPerPage, 0);
+  auto index_of = [&](int page_index, int word) {
+    return page_index * (sys.kernel.page_size() / 4) + word;
+  };
+
+  rt::RunOnProcessors(sys.kernel, space, 4, "rnd", [&](int p) {
+    std::mt19937 rng(seed * 97 + p);
+    for (int i = 0; i < 400; ++i) {
+      int page_index = static_cast<int>(rng() % kPages);
+      int word = static_cast<int>(rng() % kWordsPerPage);
+      size_t si = static_cast<size_t>(page_index) * kWordsPerPage + word;
+      // A fiber can only be preempted at the end of an access, so updating
+      // the shadow (or capturing the expectation) immediately before the
+      // access keeps the two models in lockstep.
+      if (rng() % 2 == 0) {
+        uint32_t value = rng();
+        shadow[si] = value;
+        arr.Set(index_of(page_index, word), value);
+      } else {
+        uint32_t expected = shadow[si];
+        EXPECT_EQ(arr.Get(index_of(page_index, word)), expected)
+            << "processor " << p << " op " << i;
+      }
+      if (rng() % 8 == 0) {
+        sys.machine.scheduler().Sleep((rng() % 2000) * kMicrosecond);
+      }
+    }
+  });
+  sys.kernel.memory().CheckInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoherenceRandomTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(CoherentMemoryTiming, ReadMissReplicationCostMatchesPaper) {
+  // Section 4: a read miss replicating a non-modified page takes 1.34-1.38 ms.
+  TestSystem sys(4);
+  auto* space = sys.kernel.CreateAddressSpace("t");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  auto arr = rt::SharedArray<uint32_t>::Create(zone, "p", 4);
+  SimTime measured = 0;
+  sys.kernel.SpawnThread(space, 0, "filler", [&] { arr.Get(0); });
+  sys.kernel.SpawnThread(space, 1, "replicator", [&] {
+    sys.machine.scheduler().Sleep(2 * kMillisecond);
+    SimTime t0 = sys.kernel.Now();
+    arr.Get(0);
+    measured = sys.kernel.Now() - t0;
+  });
+  sys.kernel.Run();
+  EXPECT_GE(sim::ToMilliseconds(measured), 1.30);
+  EXPECT_LE(sim::ToMilliseconds(measured), 1.45);
+}
+
+TEST(CoherentMemoryTiming, FrozenPageAccessIsOneRemoteReference) {
+  TestSystem sys(2);
+  auto* space = sys.kernel.CreateAddressSpace("t");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  auto arr = rt::SharedArray<uint32_t>::Create(zone, "p", 4);
+  SimTime measured = 0;
+  sys.kernel.SpawnThread(space, 0, "w", [&] {
+    arr.Set(0, 1);
+    sys.machine.scheduler().Sleep(4 * kMillisecond);
+    arr.Set(0, 2);  // invalidates the replica below
+  });
+  sys.kernel.SpawnThread(space, 1, "r", [&] {
+    auto& sched = sys.machine.scheduler();
+    sched.Sleep(2 * kMillisecond);
+    arr.Get(0);  // replicate
+    sched.Sleep(4 * kMillisecond);
+    arr.Get(0);  // fault -> frozen remote mapping
+    SimTime t0 = sys.kernel.Now();
+    arr.Get(0);  // plain remote reference, no fault
+    measured = sys.kernel.Now() - t0;
+  });
+  sys.kernel.Run();
+  EXPECT_LE(measured, 10 * kMicrosecond);
+  EXPECT_GE(measured, sys.machine.params().remote_read_ns);
+}
+
+}  // namespace
+}  // namespace platinum

@@ -1,0 +1,209 @@
+// Tests for the kernel facade: objects, spaces, threads, ports, atomics.
+#include "src/kernel/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/report.h"
+#include "src/runtime/shared_array.h"
+#include "src/runtime/zone_allocator.h"
+#include "tests/test_util.h"
+
+namespace platinum {
+namespace {
+
+using sim::kMicrosecond;
+using sim::kMillisecond;
+using test::TestSystem;
+
+TEST(KernelTest, NameSpaceLookup) {
+  TestSystem sys(2);
+  auto* object = sys.kernel.CreateMemoryObject("matrix", 4);
+  auto* port = sys.kernel.CreatePort("results");
+  EXPECT_EQ(sys.kernel.FindMemoryObject("matrix"), object);
+  EXPECT_EQ(sys.kernel.FindMemoryObject("nope"), nullptr);
+  EXPECT_EQ(sys.kernel.FindPort("results"), port);
+  EXPECT_EQ(sys.kernel.FindPort("nope"), nullptr);
+}
+
+TEST(KernelTest, CurrentThreadIdentity) {
+  TestSystem sys(2);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  kernel::Thread* spawned = nullptr;
+  spawned = sys.kernel.SpawnThread(space, 1, "worker", [&] {
+    EXPECT_EQ(sys.kernel.CurrentThread(), spawned);
+    EXPECT_EQ(sys.kernel.CurrentThread()->processor(), 1);
+  });
+  EXPECT_EQ(sys.kernel.CurrentThread(), nullptr);  // outside any thread
+  sys.kernel.Run();
+  EXPECT_TRUE(spawned->done());
+}
+
+TEST(KernelTest, JoinThreadWaits) {
+  TestSystem sys(2);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  auto* worker = sys.kernel.SpawnThread(space, 0, "worker", [&] {
+    sys.machine.scheduler().Sleep(5 * kMillisecond);
+  });
+  sys.kernel.SpawnThread(space, 1, "joiner", [&] {
+    sys.kernel.JoinThread(worker);
+    EXPECT_GE(sys.kernel.Now(), 5 * kMillisecond);
+  });
+  sys.kernel.Run();
+}
+
+TEST(KernelTest, ThreadMigrationMovesExecution) {
+  TestSystem sys(3);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  sys.kernel.SpawnThread(space, 0, "migrant", [&] {
+    EXPECT_EQ(sys.machine.scheduler().current_processor(), 0);
+    sim::SimTime before = sys.kernel.Now();
+    sys.kernel.CurrentThread()->Migrate(2);
+    EXPECT_EQ(sys.machine.scheduler().current_processor(), 2);
+    EXPECT_EQ(sys.kernel.CurrentThread()->processor(), 2);
+    // Migration is not free: fixed cost plus the kernel-stack move.
+    EXPECT_GT(sys.kernel.Now(), before);
+  });
+  sys.kernel.Run();
+}
+
+TEST(KernelTest, MigrationKeepsCoherentAccessWorking) {
+  TestSystem sys(3);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  auto arr = rt::SharedArray<uint32_t>::Create(zone, "d", 4);
+  sys.kernel.SpawnThread(space, 0, "migrant", [&] {
+    arr.Set(0, 11);
+    sys.kernel.CurrentThread()->Migrate(1);
+    EXPECT_EQ(arr.Get(0), 11u);
+    arr.Set(0, 12);
+    sys.kernel.CurrentThread()->Migrate(2);
+    EXPECT_EQ(arr.Get(0), 12u);
+  });
+  sys.kernel.Run();
+  sys.kernel.memory().CheckInvariants();
+}
+
+TEST(KernelTest, PortSendReceive) {
+  TestSystem sys(2);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  auto* port = sys.kernel.CreatePort("p");
+  sys.kernel.SpawnThread(space, 0, "sender", [&] {
+    std::vector<uint32_t> message{1, 2, 3};
+    sys.kernel.Send(port, message);
+  });
+  sys.kernel.SpawnThread(space, 1, "receiver", [&] {
+    std::vector<uint32_t> got = sys.kernel.Receive(port);
+    EXPECT_EQ(got, (std::vector<uint32_t>{1, 2, 3}));
+  });
+  sys.kernel.Run();
+}
+
+TEST(KernelTest, PortReceiveBlocksUntilSend) {
+  TestSystem sys(2);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  auto* port = sys.kernel.CreatePort("p");
+  sim::SimTime received_at = 0;
+  sys.kernel.SpawnThread(space, 1, "receiver", [&] {
+    sys.kernel.Receive(port);
+    received_at = sys.kernel.Now();
+  });
+  sys.kernel.SpawnThread(space, 0, "sender", [&] {
+    sys.machine.scheduler().Sleep(8 * kMillisecond);
+    std::vector<uint32_t> message{42};
+    sys.kernel.Send(port, message);
+  });
+  sys.kernel.Run();
+  EXPECT_GE(received_at, 8 * kMillisecond);
+}
+
+TEST(KernelTest, PortMultipleReceiversEachGetOneMessage) {
+  TestSystem sys(4);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  auto* port = sys.kernel.CreatePort("p");
+  std::vector<uint32_t> received;
+  for (int p = 1; p < 4; ++p) {
+    sys.kernel.SpawnThread(space, p, "receiver", [&] {
+      std::vector<uint32_t> got = sys.kernel.Receive(port);
+      received.push_back(got[0]);
+    });
+  }
+  sys.kernel.SpawnThread(space, 0, "sender", [&] {
+    for (uint32_t i = 0; i < 3; ++i) {
+      std::vector<uint32_t> message{i};
+      sys.kernel.Send(port, message);
+      sys.machine.scheduler().Sleep(1 * kMillisecond);
+    }
+  });
+  sys.kernel.Run();
+  std::sort(received.begin(), received.end());
+  EXPECT_EQ(received, (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(KernelTest, PortCostScalesWithMessageSize) {
+  TestSystem sys(2);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  auto* port = sys.kernel.CreatePort("p");
+  sim::SimTime small_cost = 0;
+  sim::SimTime big_cost = 0;
+  sys.kernel.SpawnThread(space, 0, "sender", [&] {
+    std::vector<uint32_t> small(1), big(1024);
+    sim::SimTime t0 = sys.kernel.Now();
+    sys.kernel.Send(port, small);
+    small_cost = sys.kernel.Now() - t0;
+    t0 = sys.kernel.Now();
+    sys.kernel.Send(port, big);
+    big_cost = sys.kernel.Now() - t0;
+  });
+  sys.kernel.Run();
+  EXPECT_GT(big_cost, small_cost);
+  EXPECT_GE(big_cost - small_cost, 1023 * sys.machine.params().port_word_ns);
+}
+
+TEST(KernelTest, AtomicFetchAddIsAtomicAcrossThreads) {
+  TestSystem sys(4);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  uint32_t va = zone.AllocWords("counter", 1);
+  constexpr int kIncrements = 50;
+  for (int p = 0; p < 4; ++p) {
+    sys.kernel.SpawnThread(space, p, "inc", [&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        sys.kernel.AtomicFetchAdd(space, va, 1);
+      }
+    });
+  }
+  sys.kernel.Run();
+  sys.kernel.SpawnThread(space, 0, "check", [&] {
+    EXPECT_EQ(sys.kernel.ReadWord(space, va), 4u * kIncrements);
+  });
+  sys.kernel.Run();
+}
+
+TEST(KernelTest, AtomicTestAndSetReturnsPrevious) {
+  TestSystem sys(2);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  uint32_t va = zone.AllocWords("lock", 1);
+  sys.kernel.SpawnThread(space, 0, "t", [&] {
+    EXPECT_EQ(sys.kernel.AtomicTestAndSet(space, va), 0u);
+    EXPECT_EQ(sys.kernel.AtomicTestAndSet(space, va), 1u);
+    sys.kernel.WriteWord(space, va, 0);
+    EXPECT_EQ(sys.kernel.AtomicTestAndSet(space, va), 0u);
+  });
+  sys.kernel.Run();
+}
+
+TEST(KernelTest, MemoryReportListsBusyPages) {
+  TestSystem sys(2);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  auto arr = rt::SharedArray<uint32_t>::Create(zone, "d", 4);
+  test::RunInThread(sys.kernel, space, 0, [&] { arr.Set(0, 1); });
+  kernel::MemoryReport report = BuildMemoryReport(sys.kernel);
+  ASSERT_EQ(report.pages.size(), 1u);
+  EXPECT_EQ(report.pages[0].stats.faults, 1u);
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+}  // namespace
+}  // namespace platinum

@@ -1,0 +1,105 @@
+// Unit tests for memory modules and their inverted page tables.
+#include "src/sim/memory_module.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/sim/params.h"
+
+namespace platinum::sim {
+namespace {
+
+MachineParams SmallParams() {
+  MachineParams params = ButterflyPlusParams(2);
+  params.frames_per_module = 16;
+  return params;
+}
+
+TEST(MemoryModuleTest, AllocFindFree) {
+  MemoryModule module(0, SmallParams());
+  auto alloc = module.AllocFrame(42);
+  ASSERT_TRUE(alloc.has_value());
+  EXPECT_EQ(module.free_frames(), 15u);
+  EXPECT_EQ(module.FrameOwner(alloc->frame), 42u);
+
+  auto found = module.FindFrame(42);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->frame, alloc->frame);
+
+  module.FreeFrame(alloc->frame);
+  EXPECT_EQ(module.free_frames(), 16u);
+  EXPECT_FALSE(module.FindFrame(42).has_value());
+  EXPECT_EQ(module.FrameOwner(alloc->frame), kInvalidCpage);
+}
+
+TEST(MemoryModuleTest, FindSkipsTombstones) {
+  MemoryModule module(0, SmallParams());
+  // Fill several entries, free some in the middle, and make sure the
+  // survivors are still found despite tombstones in their probe chains.
+  std::vector<uint32_t> frames;
+  for (uint32_t cpage = 0; cpage < 12; ++cpage) {
+    auto alloc = module.AllocFrame(cpage);
+    ASSERT_TRUE(alloc.has_value());
+    frames.push_back(alloc->frame);
+  }
+  for (uint32_t cpage = 0; cpage < 12; cpage += 2) {
+    module.FreeFrame(frames[cpage]);
+  }
+  for (uint32_t cpage = 1; cpage < 12; cpage += 2) {
+    auto found = module.FindFrame(cpage);
+    ASSERT_TRUE(found.has_value()) << "cpage " << cpage;
+    EXPECT_EQ(found->frame, frames[cpage]);
+  }
+}
+
+TEST(MemoryModuleTest, ExhaustionReturnsNullopt) {
+  MemoryModule module(0, SmallParams());
+  for (uint32_t cpage = 0; cpage < 16; ++cpage) {
+    ASSERT_TRUE(module.AllocFrame(cpage).has_value());
+  }
+  EXPECT_EQ(module.free_frames(), 0u);
+  EXPECT_FALSE(module.AllocFrame(100).has_value());
+  // Freeing one makes allocation possible again.
+  auto found = module.FindFrame(3);
+  ASSERT_TRUE(found.has_value());
+  module.FreeFrame(found->frame);
+  EXPECT_TRUE(module.AllocFrame(100).has_value());
+}
+
+TEST(MemoryModuleTest, FramesAreDistinct) {
+  MemoryModule module(0, SmallParams());
+  std::set<uint32_t> frames;
+  for (uint32_t cpage = 0; cpage < 16; ++cpage) {
+    auto alloc = module.AllocFrame(cpage);
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_TRUE(frames.insert(alloc->frame).second) << "duplicate frame " << alloc->frame;
+  }
+}
+
+TEST(MemoryModuleTest, DataStorageIsPerFrame) {
+  MachineParams params = SmallParams();
+  MemoryModule module(0, params);
+  auto a = module.AllocFrame(1);
+  auto b = module.AllocFrame(2);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  module.FrameData(a->frame)[0] = 0xAB;
+  module.FrameData(b->frame)[0] = 0xCD;
+  EXPECT_EQ(module.FrameData(a->frame)[0], 0xAB);
+  EXPECT_EQ(module.FrameData(b->frame)[0], 0xCD);
+}
+
+TEST(MemoryModuleTest, ProbeCountsReflectCollisions) {
+  MemoryModule module(0, SmallParams());
+  // Whatever the hash values, the first allocation probes at least one slot
+  // and never more than the table size.
+  for (uint32_t cpage = 0; cpage < 16; ++cpage) {
+    auto alloc = module.AllocFrame(cpage);
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_GE(alloc->probes, 1u);
+    EXPECT_LE(alloc->probes, 16u);
+  }
+}
+
+}  // namespace
+}  // namespace platinum::sim

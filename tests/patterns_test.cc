@@ -1,0 +1,94 @@
+// Tests for the synthetic access-pattern engine: under the default timestamp
+// policy each canonical pattern must elicit the protocol behaviour the paper
+// predicts for it.
+#include "src/apps/patterns.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace platinum {
+namespace {
+
+using apps::AccessPattern;
+using apps::PatternConfig;
+using apps::PatternResult;
+using sim::kMillisecond;
+using test::TestSystem;
+
+PatternResult RunOne(AccessPattern pattern, sim::SimTime think = 200 * sim::kMicrosecond,
+                  int processors = 4) {
+  TestSystem sys(8);
+  PatternConfig config;
+  config.pattern = pattern;
+  config.processors = processors;
+  config.think_ns = think;
+  PatternResult result = RunPattern(sys.kernel, config);
+  sys.kernel.memory().CheckInvariants();
+  return result;
+}
+
+TEST(PatternsTest, PrivateDataStaysLocal) {
+  PatternResult result = RunOne(AccessPattern::kPrivate);
+  EXPECT_EQ(result.remote_maps, 0u);
+  EXPECT_EQ(result.freezes, 0u);
+  EXPECT_EQ(result.migrations, 0u);
+  // Only barrier traffic is remote; the data references are all local.
+  EXPECT_GT(result.local_references, result.remote_references);
+}
+
+TEST(PatternsTest, ReadSharedDataReplicatesEverywhere) {
+  PatternResult result = RunOne(AccessPattern::kReadShared);
+  // Every non-writer processor replicates every page of the region.
+  EXPECT_GE(result.replications, 3u * 4u);
+  EXPECT_EQ(result.freezes, 0u);
+  EXPECT_EQ(result.migrations, 0u);
+}
+
+TEST(PatternsTest, SlowMigratoryDataMigrates) {
+  // Handoffs far apart (>> t1): each new user moves the pages toward itself.
+  // A read-then-write handoff shows up as a replication followed by an
+  // invalidation of the old copy; a pure write handoff as a migration.
+  PatternResult result = RunOne(AccessPattern::kMigratory, /*think=*/15 * kMillisecond);
+  EXPECT_GT(result.migrations + result.replications, 8u);
+  EXPECT_EQ(result.freezes, 0u);
+}
+
+TEST(PatternsTest, FastMigratoryDataFreezes) {
+  // Handoffs inside the t1 window look like interference: the pages freeze
+  // and the later users run on remote references.
+  PatternResult result = RunOne(AccessPattern::kMigratory, /*think=*/500 * sim::kMicrosecond);
+  EXPECT_GE(result.freezes, 1u);
+  EXPECT_GT(result.remote_maps, 0u);
+}
+
+TEST(PatternsTest, HotSpotWriteFreezes) {
+  PatternResult result = RunOne(AccessPattern::kHotSpotWrite);
+  EXPECT_GE(result.freezes, 1u);
+  // After freezing, the protocol stops moving data entirely.
+  EXPECT_LE(result.migrations + result.replications, 6u);
+  EXPECT_GT(result.remote_references, 0u);
+}
+
+TEST(PatternsTest, FalseSharingFreezesDespiteDisjointData) {
+  PatternResult result = RunOne(AccessPattern::kFalseSharing);
+  EXPECT_GE(result.freezes, 1u);
+}
+
+TEST(PatternsTest, ProducerConsumerAlternatesInvalidationAndReplication) {
+  PatternResult result = RunOne(AccessPattern::kProducerConsumer, /*think=*/15 * kMillisecond);
+  EXPECT_GT(result.replications, 4u);
+  // The producer's writes invalidate consumer replicas each phase; spaced
+  // beyond t1 they never freeze the pages.
+  EXPECT_EQ(result.freezes, 0u);
+}
+
+TEST(PatternsTest, DeterministicAcrossRuns) {
+  PatternResult a = RunOne(AccessPattern::kHotSpotWrite);
+  PatternResult b = RunOne(AccessPattern::kHotSpotWrite);
+  EXPECT_EQ(a.elapsed_ns, b.elapsed_ns);
+  EXPECT_EQ(a.remote_references, b.remote_references);
+}
+
+}  // namespace
+}  // namespace platinum

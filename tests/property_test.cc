@@ -1,0 +1,190 @@
+// Property-style parameterized sweeps: protocol invariants and end-to-end
+// coherence must hold for every machine shape (processor counts, page sizes,
+// policies) and under adversarial operation sequences.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "src/kernel/kernel.h"
+#include "src/mem/policy.h"
+#include "src/runtime/parallel.h"
+#include "src/runtime/shared_array.h"
+#include "src/runtime/zone_allocator.h"
+#include "tests/test_util.h"
+
+namespace platinum {
+namespace {
+
+using sim::kMicrosecond;
+using sim::kMillisecond;
+using test::TestSystem;
+
+std::unique_ptr<mem::ReplicationPolicy> MakePolicy(int which) {
+  switch (which) {
+    case 0:
+      return std::make_unique<mem::TimestampPolicy>(10 * kMillisecond);
+    case 1:
+      return std::make_unique<mem::TimestampPolicy>(10 * kMillisecond, true);
+    case 2:
+      return std::make_unique<mem::AlwaysCachePolicy>();
+    case 3:
+      return std::make_unique<mem::NeverCachePolicy>();
+    default:
+      return std::make_unique<mem::MigrateThenFreezePolicy>(2);
+  }
+}
+
+// (processors, page_size, policy)
+using SweepParam = std::tuple<int, uint32_t, int>;
+
+class CoherenceSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(CoherenceSweepTest, RandomWorkloadStaysCoherent) {
+  auto [processors, page_size, policy] = GetParam();
+  sim::MachineParams params = sim::ButterflyPlusParams(processors);
+  params.page_size_bytes = page_size;
+  params.frames_per_module = (1u << 22) / page_size;
+  kernel::KernelOptions options;
+  options.policy = MakePolicy(policy);
+  TestSystem sys(params, std::move(options));
+
+  auto* space = sys.kernel.CreateAddressSpace("sweep");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  constexpr int kPages = 4;
+  const uint32_t page_words = page_size / 4;
+  auto arr = rt::SharedArray<uint32_t>::Create(zone, "data",
+                                               static_cast<size_t>(kPages) * page_words);
+
+  // Shadow model; see coherent_memory_test.cc for why pre-access updates are
+  // race-free under the fiber scheduler.
+  constexpr int kWordsPerPage = 4;
+  std::vector<uint32_t> shadow(kPages * kWordsPerPage, 0);
+
+  rt::RunOnProcessors(sys.kernel, space, processors, "rnd", [&](int p) {
+    std::mt19937 rng(static_cast<unsigned>(p * 7919 + policy * 13 + processors));
+    for (int i = 0; i < 150; ++i) {
+      int page = static_cast<int>(rng() % kPages);
+      int word = static_cast<int>(rng() % kWordsPerPage);
+      size_t index = static_cast<size_t>(page) * page_words + static_cast<size_t>(word);
+      size_t si = static_cast<size_t>(page) * kWordsPerPage + static_cast<size_t>(word);
+      if (rng() % 2 == 0) {
+        uint32_t value = rng();
+        shadow[si] = value;
+        arr.Set(index, value);
+      } else {
+        uint32_t expected = shadow[si];
+        ASSERT_EQ(arr.Get(index), expected) << "p" << p << " op " << i;
+      }
+      if (rng() % 10 == 0) {
+        sys.machine.scheduler().Sleep((rng() % 3000) * kMicrosecond);
+      }
+    }
+  });
+  sys.kernel.memory().CheckInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CoherenceSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 16),
+                       ::testing::Values(1024u, 4096u),
+                       ::testing::Values(0, 2, 3)));
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, CoherenceSweepTest,
+    ::testing::Combine(::testing::Values(4), ::testing::Values(4096u),
+                       ::testing::Values(1, 4)));
+
+// Adversarial kernel-operation fuzzer: random interleaving of accesses,
+// advice, pins, pre-replications, thaws, unbinds and rebinds must never
+// break a protocol invariant or lose a write.
+class ProtocolFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProtocolFuzzTest, InvariantsSurviveRandomOps) {
+  TestSystem sys(4);
+  auto* space = sys.kernel.CreateAddressSpace("fuzz");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  constexpr int kPages = 3;
+  const uint32_t page_words = sys.kernel.page_size() / 4;
+  auto arr = rt::SharedArray<uint32_t>::Create(zone, "fuzz-data",
+                                               static_cast<size_t>(kPages) * page_words);
+  std::vector<uint32_t> shadow(kPages, 0);
+
+  rt::RunOnProcessors(sys.kernel, space, 4, "fuzz", [&](int p) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam() * 131 + p));
+    for (int i = 0; i < 120; ++i) {
+      int page = static_cast<int>(rng() % kPages);
+      size_t index = static_cast<size_t>(page) * page_words;
+      uint32_t va = arr.va(index);
+      switch (rng() % 8) {
+        case 0:
+        case 1:
+        case 2: {
+          uint32_t value = rng();
+          shadow[static_cast<size_t>(page)] = value;
+          arr.Set(index, value);
+          break;
+        }
+        case 3:
+        case 4: {
+          uint32_t expected = shadow[static_cast<size_t>(page)];
+          ASSERT_EQ(arr.Get(index), expected);
+          break;
+        }
+        case 5:
+          sys.kernel.AdviseMemory(space, va, 4,
+                                  static_cast<mem::MemoryAdvice>(rng() % 4));
+          break;
+        case 6:
+          sys.kernel.PinMemory(space, va, static_cast<int>(rng() % 4));
+          break;
+        case 7:
+          sys.kernel.ThawMemory(space, va);
+          break;
+      }
+      if (rng() % 6 == 0) {
+        sys.machine.scheduler().Sleep((rng() % 4000) * kMicrosecond);
+      }
+      sys.machine.scheduler().MaybeYield();
+    }
+  });
+  sys.kernel.memory().CheckInvariants();
+
+  // Every write survived all the placement churn.
+  test::RunInThread(sys.kernel, space, 0, [&] {
+    for (int page = 0; page < kPages; ++page) {
+      EXPECT_EQ(arr.Get(static_cast<size_t>(page) * page_words),
+                shadow[static_cast<size_t>(page)]);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzzTest, ::testing::Range(1, 9));
+
+// The machine must stay deterministic across every shape.
+TEST(DeterminismSweepTest, SameSeedSameVirtualTime) {
+  auto run = [](int processors) {
+    TestSystem sys(processors);
+    auto* space = sys.kernel.CreateAddressSpace("d");
+    rt::ZoneAllocator zone(&sys.kernel, space);
+    auto arr = rt::SharedArray<uint32_t>::Create(zone, "d", 64);
+    rt::RunOnProcessors(sys.kernel, space, processors, "w", [&](int p) {
+      std::mt19937 rng(static_cast<unsigned>(p));
+      for (int i = 0; i < 100; ++i) {
+        size_t index = rng() % 64;
+        if (rng() % 2 == 0) {
+          arr.Set(index, rng());
+        } else {
+          arr.Get(index);
+        }
+      }
+    });
+    return sys.machine.scheduler().global_now();
+  };
+  for (int processors : {2, 5, 8}) {
+    EXPECT_EQ(run(processors), run(processors)) << processors << " processors";
+  }
+}
+
+}  // namespace
+}  // namespace platinum

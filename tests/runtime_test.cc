@@ -1,0 +1,160 @@
+// Tests for the user-level runtime: zones, shared arrays/matrices, locks,
+// event counts, barriers.
+#include <gtest/gtest.h>
+
+#include "src/runtime/parallel.h"
+#include "src/runtime/shared_array.h"
+#include "src/runtime/sync.h"
+#include "src/runtime/zone_allocator.h"
+#include "tests/test_util.h"
+
+namespace platinum {
+namespace {
+
+using sim::kMillisecond;
+using test::TestSystem;
+
+TEST(ZoneAllocatorTest, AllocationsArePageAlignedAndDisjoint) {
+  TestSystem sys(2);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  uint32_t a = zone.AllocWords("a", 1);
+  uint32_t b = zone.AllocWords("b", 1);
+  uint32_t c = zone.AllocWords("c", 2000);  // two pages
+  uint32_t d = zone.AllocWords("d", 1);
+  EXPECT_EQ(a % sys.kernel.page_size(), 0u);
+  EXPECT_EQ(b, a + sys.kernel.page_size());
+  EXPECT_EQ(c, b + sys.kernel.page_size());
+  EXPECT_EQ(d, c + 2 * sys.kernel.page_size());
+  EXPECT_EQ(zone.pages_allocated(), 5u);
+}
+
+TEST(SharedArrayTest, TypedGetSet) {
+  TestSystem sys(2);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  auto ints = rt::SharedArray<int32_t>::Create(zone, "i", 4);
+  auto floats = rt::SharedArray<float>::Create(zone, "f", 4);
+  test::RunInThread(sys.kernel, space, 0, [&] {
+    ints.Set(0, -42);
+    EXPECT_EQ(ints.Get(0), -42);
+    floats.Set(1, 2.5f);
+    EXPECT_EQ(floats.Get(1), 2.5f);
+  });
+}
+
+TEST(SharedArrayTest, SliceViewsAliasTheSameMemory) {
+  TestSystem sys(2);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  auto arr = rt::SharedArray<uint32_t>::Create(zone, "a", 16);
+  auto slice = arr.Slice(8, 4);
+  test::RunInThread(sys.kernel, space, 0, [&] {
+    slice.Set(0, 99);
+    EXPECT_EQ(arr.Get(8), 99u);
+  });
+}
+
+TEST(SharedMatrixTest, RowsArePageAligned) {
+  TestSystem sys(2);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  auto m = rt::SharedMatrix<int32_t>::Create(zone, "m", 3, 100);
+  EXPECT_EQ(m.Row(0).base_va() % sys.kernel.page_size(), 0u);
+  EXPECT_EQ(m.Row(1).base_va() % sys.kernel.page_size(), 0u);
+  test::RunInThread(sys.kernel, space, 0, [&] {
+    m.Set(2, 99, -7);
+    EXPECT_EQ(m.Get(2, 99), -7);
+    EXPECT_EQ(m.Row(2).Get(99), -7);
+  });
+}
+
+TEST(SpinLockTest, MutualExclusion) {
+  TestSystem sys(4);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  rt::SpinLock lock(zone, "lock");
+  auto counter = rt::SharedArray<uint32_t>::Create(zone, "counter", 1);
+  // Non-atomic increments under the lock must not lose updates.
+  rt::RunOnProcessors(sys.kernel, space, 4, "worker", [&](int) {
+    for (int i = 0; i < 25; ++i) {
+      lock.Acquire();
+      counter.Set(0, counter.Get(0) + 1);
+      lock.Release();
+    }
+  });
+  test::RunInThread(sys.kernel, space, 0, [&] { EXPECT_EQ(counter.Get(0), 100u); });
+}
+
+TEST(EventCountTest, AdvanceAndAwait) {
+  TestSystem sys(2);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  rt::EventCountArray events(zone, "ec", 4);
+  sim::SimTime awaited_at = 0;
+  sys.kernel.SpawnThread(space, 0, "waiter", [&] {
+    events.AwaitAtLeast(2, 1);
+    awaited_at = sys.kernel.Now();
+  });
+  sys.kernel.SpawnThread(space, 1, "advancer", [&] {
+    sys.machine.scheduler().Sleep(5 * kMillisecond);
+    events.Advance(2);
+  });
+  sys.kernel.Run();
+  EXPECT_GE(awaited_at, 5 * kMillisecond);
+  test::RunInThread(sys.kernel, space, 0, [&] { EXPECT_EQ(events.Read(2), 1u); });
+}
+
+TEST(BarrierTest, AllArriveBeforeAnyLeaves) {
+  TestSystem sys(4);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  rt::Barrier barrier(zone, "bar", 4);
+  auto flags = rt::SharedArray<uint32_t>::Create(zone, "flags", 4);
+  rt::RunOnProcessors(sys.kernel, space, 4, "w", [&](int p) {
+    // Stagger arrivals.
+    sys.machine.scheduler().Sleep(static_cast<sim::SimTime>(p) * kMillisecond);
+    flags.Set(p, 1);
+    barrier.Wait();
+    // Everyone must observe all flags set after the barrier.
+    for (int q = 0; q < 4; ++q) {
+      EXPECT_EQ(flags.Get(q), 1u) << "processor " << p << " missed flag " << q;
+    }
+  });
+}
+
+TEST(BarrierTest, ReusableAcrossPhases) {
+  TestSystem sys(3);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  rt::Barrier barrier(zone, "bar", 3);
+  auto phase_counter = rt::SharedArray<uint32_t>::Create(zone, "pc", 1);
+  rt::RunOnProcessors(sys.kernel, space, 3, "w", [&](int p) {
+    for (int phase = 0; phase < 3; ++phase) {
+      if (p == 0) {
+        phase_counter.Set(0, static_cast<uint32_t>(phase));
+      }
+      barrier.Wait();
+      EXPECT_EQ(phase_counter.Get(0), static_cast<uint32_t>(phase));
+      barrier.Wait();
+    }
+  });
+}
+
+TEST(RunOnProcessorsTest, NestsInsideAThread) {
+  TestSystem sys(4);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  auto arr = rt::SharedArray<uint32_t>::Create(zone, "a", 4);
+  test::RunInThread(sys.kernel, space, 0, [&] {
+    rt::RunOnProcessors(sys.kernel, space, 4, "inner", [&](int p) {
+      arr.Set(static_cast<size_t>(p), static_cast<uint32_t>(p + 1));
+    });
+    for (int p = 0; p < 4; ++p) {
+      EXPECT_EQ(arr.Get(static_cast<size_t>(p)), static_cast<uint32_t>(p + 1));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace platinum

@@ -1,0 +1,224 @@
+// Unit tests for the virtual-time fiber scheduler.
+#include "src/sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace platinum::sim {
+namespace {
+
+constexpr SimTime kQuantum = 20 * kMicrosecond;
+constexpr uint32_t kStack = 128 * 1024;
+
+TEST(SchedulerTest, RunsSingleFiberToCompletion) {
+  Scheduler sched(2, kQuantum, kStack);
+  bool ran = false;
+  sched.Spawn(0, "solo", [&] {
+    sched.Advance(5 * kMicrosecond);
+    ran = true;
+  });
+  sched.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sched.global_now(), 5 * kMicrosecond);
+}
+
+TEST(SchedulerTest, InterleavesByVirtualTime) {
+  Scheduler sched(2, kQuantum, kStack);
+  std::vector<int> order;
+  // Fiber A advances in large steps, B in small ones; with yields between
+  // steps, B's events must come first in virtual-time order.
+  sched.Spawn(0, "A", [&] {
+    for (int i = 0; i < 3; ++i) {
+      sched.Advance(100 * kMicrosecond);
+      order.push_back(1);
+      sched.Yield();
+    }
+  });
+  sched.Spawn(1, "B", [&] {
+    for (int i = 0; i < 3; ++i) {
+      sched.Advance(10 * kMicrosecond);
+      order.push_back(2);
+      sched.Yield();
+    }
+  });
+  sched.Run();
+  ASSERT_EQ(order.size(), 6u);
+  // A (spawned first) runs its first step to the yield at t=100us, after
+  // which the scheduler prefers B until B's clock passes A's: the recorded
+  // order is A, B, B, B, A, A.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 2, 2, 1, 1}));
+}
+
+TEST(SchedulerTest, MaybeYieldHonorsQuantum) {
+  Scheduler sched(1, kQuantum, kStack);
+  sched.Spawn(0, "f", [&] {
+    sched.Advance(kQuantum / 2);
+    EXPECT_FALSE(sched.MaybeYield());
+    sched.Advance(kQuantum);
+    EXPECT_TRUE(sched.MaybeYield());
+  });
+  sched.Run();
+}
+
+TEST(SchedulerTest, SameProcessorFibersSerialize) {
+  Scheduler sched(1, kQuantum, kStack);
+  // Two fibers on one processor, each consuming 50us of CPU; total elapsed
+  // must be at least 100us even though both start at t=0.
+  for (int i = 0; i < 2; ++i) {
+    sched.Spawn(0, "f" + std::to_string(i), [&] { sched.Advance(50 * kMicrosecond); });
+  }
+  sched.Run();
+  EXPECT_EQ(sched.global_now(), 100 * kMicrosecond);
+}
+
+TEST(SchedulerTest, DifferentProcessorsRunInParallel) {
+  Scheduler sched(2, kQuantum, kStack);
+  for (int i = 0; i < 2; ++i) {
+    sched.Spawn(i, "f" + std::to_string(i), [&] { sched.Advance(50 * kMicrosecond); });
+  }
+  sched.Run();
+  EXPECT_EQ(sched.global_now(), 50 * kMicrosecond);
+}
+
+TEST(SchedulerTest, SleepReleasesProcessor) {
+  Scheduler sched(1, kQuantum, kStack);
+  SimTime b_done = 0;
+  sched.Spawn(0, "sleeper", [&] { sched.Sleep(1 * kMillisecond); });
+  sched.Spawn(0, "worker", [&] {
+    sched.Advance(100 * kMicrosecond);
+    b_done = sched.now();
+  });
+  sched.Run();
+  // The worker must not wait for the sleeper's wakeup.
+  EXPECT_EQ(b_done, 100 * kMicrosecond);
+  EXPECT_EQ(sched.global_now(), 1 * kMillisecond);
+}
+
+TEST(SchedulerTest, BlockAndWake) {
+  Scheduler sched(2, kQuantum, kStack);
+  Fiber* blocked = nullptr;
+  SimTime resumed_at = 0;
+  blocked = sched.Spawn(0, "blocked", [&] {
+    sched.Block();
+    resumed_at = sched.now();
+  });
+  sched.Spawn(1, "waker", [&] {
+    sched.Advance(300 * kMicrosecond);
+    sched.Wake(blocked, sched.now());
+  });
+  sched.Run();
+  EXPECT_EQ(resumed_at, 300 * kMicrosecond);
+}
+
+TEST(SchedulerTest, JoinAdvancesJoinerClock) {
+  Scheduler sched(2, kQuantum, kStack);
+  Fiber* worker = sched.Spawn(0, "worker", [&] { sched.Advance(500 * kMicrosecond); });
+  SimTime join_time = 0;
+  sched.Spawn(1, "joiner", [&] {
+    sched.Join(worker);
+    join_time = sched.now();
+  });
+  sched.Run();
+  EXPECT_EQ(join_time, 500 * kMicrosecond);
+}
+
+TEST(SchedulerTest, JoinFinishedFiberReturnsImmediately) {
+  Scheduler sched(2, kQuantum, kStack);
+  Fiber* worker = sched.Spawn(0, "worker", [&] { sched.Advance(10 * kMicrosecond); });
+  sched.Spawn(1, "late-joiner", [&] {
+    sched.Advance(1 * kMillisecond);
+    sched.Join(worker);
+    EXPECT_EQ(sched.now(), 1 * kMillisecond);  // no extra wait
+  });
+  sched.Run();
+}
+
+TEST(SchedulerTest, DaemonDoesNotKeepRunAlive) {
+  Scheduler sched(1, kQuantum, kStack);
+  int daemon_iterations = 0;
+  sched.Spawn(
+      0, "daemon",
+      [&] {
+        for (;;) {
+          sched.Sleep(10 * kMicrosecond);
+          ++daemon_iterations;
+        }
+      },
+      /*daemon=*/true);
+  sched.Spawn(0, "app", [&] { sched.Sleep(35 * kMicrosecond); });
+  sched.Run();
+  // The daemon ticked while the app was alive, then Run() stopped.
+  EXPECT_GE(daemon_iterations, 2);
+  EXPECT_LE(daemon_iterations, 4);
+}
+
+TEST(SchedulerTest, InterruptCostChargedToNextOccupant) {
+  Scheduler sched(1, kQuantum, kStack);
+  sched.AddInterruptCost(0, 7 * kMicrosecond);
+  sched.Spawn(0, "victim", [&] { EXPECT_EQ(sched.now(), 7 * kMicrosecond); });
+  sched.Run();
+}
+
+TEST(SchedulerTest, MigrateCurrentMovesProcessor) {
+  Scheduler sched(2, kQuantum, kStack);
+  // Processor 1 is busy until t=200us.
+  sched.Spawn(1, "busy", [&] { sched.Advance(200 * kMicrosecond); });
+  sched.Spawn(0, "migrant", [&] {
+    sched.Advance(50 * kMicrosecond);
+    sched.MigrateCurrent(1);
+    EXPECT_EQ(sched.current_processor(), 1);
+    // Arrival waits for the busy fiber to release the node.
+    EXPECT_GE(sched.now(), 200 * kMicrosecond);
+  });
+  sched.Run();
+}
+
+TEST(SchedulerTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Scheduler sched(4, kQuantum, kStack);
+    std::vector<uint32_t> order;
+    for (int p = 0; p < 4; ++p) {
+      sched.Spawn(p, "f", [&, p] {
+        for (int i = 0; i < 10; ++i) {
+          sched.Advance((p + 1) * 7 * kMicrosecond);
+          order.push_back(static_cast<uint32_t>(p));
+          sched.Yield();
+        }
+      });
+    }
+    sched.Run();
+    return std::pair(order, sched.global_now());
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(SchedulerDeathTest, DeadlockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Scheduler sched(1, kQuantum, kStack);
+        sched.Spawn(0, "stuck", [&] { sched.Block(); });
+        sched.Run();
+      },
+      "deadlock");
+}
+
+TEST(SchedulerTest, SpawnFromFiberStartsAtSpawnerClock) {
+  Scheduler sched(2, kQuantum, kStack);
+  SimTime child_start = 0;
+  sched.Spawn(0, "parent", [&] {
+    sched.Advance(123 * kMicrosecond);
+    sched.Spawn(1, "child", [&] { child_start = sched.now(); });
+  });
+  sched.Run();
+  EXPECT_EQ(child_start, 123 * kMicrosecond);
+}
+
+}  // namespace
+}  // namespace platinum::sim

@@ -1,0 +1,80 @@
+// Small units: machine stats arithmetic/formatting and parameter validation.
+#include <gtest/gtest.h>
+
+#include "src/sim/params.h"
+#include "src/sim/stats.h"
+
+namespace platinum::sim {
+namespace {
+
+TEST(StatsTest, DifferenceIsCounterwise) {
+  MachineStats a;
+  a.local_reads = 10;
+  a.remote_writes = 7;
+  a.faults = 3;
+  a.module_wait_ns = 5000;
+  MachineStats b;
+  b.local_reads = 4;
+  b.remote_writes = 2;
+  b.faults = 1;
+  b.module_wait_ns = 1000;
+  MachineStats d = a - b;
+  EXPECT_EQ(d.local_reads, 6u);
+  EXPECT_EQ(d.remote_writes, 5u);
+  EXPECT_EQ(d.faults, 2u);
+  EXPECT_EQ(d.module_wait_ns, 4000u);
+}
+
+TEST(StatsTest, AggregatesAndFormats) {
+  MachineStats s;
+  s.local_reads = 1;
+  s.local_writes = 2;
+  s.remote_reads = 3;
+  s.remote_writes = 4;
+  EXPECT_EQ(s.total_references(), 10u);
+  EXPECT_EQ(s.remote_references(), 7u);
+  std::string text = s.ToString();
+  EXPECT_NE(text.find("references"), std::string::npos);
+  EXPECT_NE(text.find("shootdowns"), std::string::npos);
+}
+
+TEST(ParamsTest, ButterflyDefaultsAreThePapersNumbers) {
+  MachineParams params = ButterflyPlusParams();
+  EXPECT_EQ(params.num_processors, 16);
+  EXPECT_EQ(params.page_size_bytes, 4096u);
+  EXPECT_EQ(params.local_read_ns, 320u);
+  EXPECT_EQ(params.remote_read_ns, 5000u);
+  // 1024 words at the block-copy rate must give the paper's 1.11 ms page copy.
+  EXPECT_NEAR(ToMilliseconds(params.words_per_page() * params.block_copy_word_ns), 1.11, 0.005);
+  EXPECT_EQ(params.t1_freeze_window_ns, 10 * kMillisecond);
+  EXPECT_EQ(params.t2_defrost_period_ns, 1 * kSecond);
+  params.Validate();  // must not abort
+}
+
+TEST(ParamsDeathTest, RejectsBadShapes) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  MachineParams params = ButterflyPlusParams();
+  params.num_processors = 0;
+  EXPECT_DEATH(params.Validate(), "");
+  params = ButterflyPlusParams();
+  params.num_processors = kMaxProcessors + 1;
+  EXPECT_DEATH(params.Validate(), "");
+  params = ButterflyPlusParams();
+  params.page_size_bytes = 3000;  // not a power of two
+  EXPECT_DEATH(params.Validate(), "power");
+  params = ButterflyPlusParams();
+  params.atc_entries = 48;  // not a power of two
+  EXPECT_DEATH(params.Validate(), "power");
+  params = ButterflyPlusParams();
+  params.defrost_processor = 16;  // out of range
+  EXPECT_DEATH(params.Validate(), "");
+}
+
+TEST(TimeTest, Conversions) {
+  EXPECT_EQ(ToMilliseconds(1500 * kMicrosecond), 1.5);
+  EXPECT_EQ(ToMicroseconds(2 * kMillisecond), 2000.0);
+  EXPECT_EQ(ToSeconds(500 * kMillisecond), 0.5);
+}
+
+}  // namespace
+}  // namespace platinum::sim
