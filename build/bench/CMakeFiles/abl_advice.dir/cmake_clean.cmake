@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_advice.dir/abl_advice.cc.o"
+  "CMakeFiles/abl_advice.dir/abl_advice.cc.o.d"
+  "abl_advice"
+  "abl_advice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_advice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

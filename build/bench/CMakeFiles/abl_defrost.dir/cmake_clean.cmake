@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_defrost.dir/abl_defrost.cc.o"
+  "CMakeFiles/abl_defrost.dir/abl_defrost.cc.o.d"
+  "abl_defrost"
+  "abl_defrost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_defrost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pagesize.dir/abl_pagesize.cc.o"
+  "CMakeFiles/abl_pagesize.dir/abl_pagesize.cc.o.d"
+  "abl_pagesize"
+  "abl_pagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

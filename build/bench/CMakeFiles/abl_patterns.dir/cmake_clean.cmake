@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_patterns.dir/abl_patterns.cc.o"
+  "CMakeFiles/abl_patterns.dir/abl_patterns.cc.o.d"
+  "abl_patterns"
+  "abl_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_t1_sweep.dir/abl_t1_sweep.cc.o"
+  "CMakeFiles/abl_t1_sweep.dir/abl_t1_sweep.cc.o.d"
+  "abl_t1_sweep"
+  "abl_t1_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_t1_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_gauss.dir/fig1_gauss.cc.o"
+  "CMakeFiles/fig1_gauss.dir/fig1_gauss.cc.o.d"
+  "fig1_gauss"
+  "fig1_gauss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_gauss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_mergesort.dir/fig5_mergesort.cc.o"
+  "CMakeFiles/fig5_mergesort.dir/fig5_mergesort.cc.o.d"
+  "fig5_mergesort"
+  "fig5_mergesort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_mergesort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_neural.dir/fig6_neural.cc.o"
+  "CMakeFiles/fig6_neural.dir/fig6_neural.cc.o.d"
+  "fig6_neural"
+  "fig6_neural.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_neural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

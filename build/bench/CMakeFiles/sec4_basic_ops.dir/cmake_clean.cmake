@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_basic_ops.dir/sec4_basic_ops.cc.o"
+  "CMakeFiles/sec4_basic_ops.dir/sec4_basic_ops.cc.o.d"
+  "sec4_basic_ops"
+  "sec4_basic_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_basic_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_fig1_gauss "/root/repo/build/bench/fig1_gauss" "--benchmark_filter=NONE")
+set_tests_properties(bench_smoke_fig1_gauss PROPERTIES  ENVIRONMENT "PLATINUM_GAUSS_N=48;PLATINUM_SORT_COUNT=4096;PLATINUM_NEURAL_EPOCHS=2" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table1_migration "/root/repo/build/bench/table1_migration" "--benchmark_filter=NONE")
+set_tests_properties(bench_smoke_table1_migration PROPERTIES  ENVIRONMENT "PLATINUM_GAUSS_N=48;PLATINUM_SORT_COUNT=4096;PLATINUM_NEURAL_EPOCHS=2" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_sec4_basic_ops "/root/repo/build/bench/sec4_basic_ops" "--benchmark_filter=NONE")
+set_tests_properties(bench_smoke_sec4_basic_ops PROPERTIES  ENVIRONMENT "PLATINUM_GAUSS_N=48;PLATINUM_SORT_COUNT=4096;PLATINUM_NEURAL_EPOCHS=2" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig5_mergesort "/root/repo/build/bench/fig5_mergesort" "--benchmark_filter=NONE")
+set_tests_properties(bench_smoke_fig5_mergesort PROPERTIES  ENVIRONMENT "PLATINUM_GAUSS_N=48;PLATINUM_SORT_COUNT=4096;PLATINUM_NEURAL_EPOCHS=2" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig6_neural "/root/repo/build/bench/fig6_neural" "--benchmark_filter=NONE")
+set_tests_properties(bench_smoke_fig6_neural PROPERTIES  ENVIRONMENT "PLATINUM_GAUSS_N=48;PLATINUM_SORT_COUNT=4096;PLATINUM_NEURAL_EPOCHS=2" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_abl_t1_sweep "/root/repo/build/bench/abl_t1_sweep" "--benchmark_filter=NONE")
+set_tests_properties(bench_smoke_abl_t1_sweep PROPERTIES  ENVIRONMENT "PLATINUM_GAUSS_N=48;PLATINUM_SORT_COUNT=4096;PLATINUM_NEURAL_EPOCHS=2" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_abl_defrost "/root/repo/build/bench/abl_defrost" "--benchmark_filter=NONE")
+set_tests_properties(bench_smoke_abl_defrost PROPERTIES  ENVIRONMENT "PLATINUM_GAUSS_N=48;PLATINUM_SORT_COUNT=4096;PLATINUM_NEURAL_EPOCHS=2" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_abl_policy "/root/repo/build/bench/abl_policy" "--benchmark_filter=NONE")
+set_tests_properties(bench_smoke_abl_policy PROPERTIES  ENVIRONMENT "PLATINUM_GAUSS_N=48;PLATINUM_SORT_COUNT=4096;PLATINUM_NEURAL_EPOCHS=2" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_abl_pagesize "/root/repo/build/bench/abl_pagesize" "--benchmark_filter=NONE")
+set_tests_properties(bench_smoke_abl_pagesize PROPERTIES  ENVIRONMENT "PLATINUM_GAUSS_N=48;PLATINUM_SORT_COUNT=4096;PLATINUM_NEURAL_EPOCHS=2" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_abl_patterns "/root/repo/build/bench/abl_patterns" "--benchmark_filter=NONE")
+set_tests_properties(bench_smoke_abl_patterns PROPERTIES  ENVIRONMENT "PLATINUM_GAUSS_N=48;PLATINUM_SORT_COUNT=4096;PLATINUM_NEURAL_EPOCHS=2" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_abl_advice "/root/repo/build/bench/abl_advice" "--benchmark_filter=NONE")
+set_tests_properties(bench_smoke_abl_advice PROPERTIES  ENVIRONMENT "PLATINUM_GAUSS_N=48;PLATINUM_SORT_COUNT=4096;PLATINUM_NEURAL_EPOCHS=2" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_abl_scalability "/root/repo/build/bench/abl_scalability" "--benchmark_filter=NONE")
+set_tests_properties(bench_smoke_abl_scalability PROPERTIES  ENVIRONMENT "PLATINUM_GAUSS_N=48;PLATINUM_SORT_COUNT=4096;PLATINUM_NEURAL_EPOCHS=2" LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")

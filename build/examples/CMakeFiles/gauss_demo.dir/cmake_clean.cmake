@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauss_demo.dir/gauss_demo.cpp.o"
+  "CMakeFiles/gauss_demo.dir/gauss_demo.cpp.o.d"
+  "gauss_demo"
+  "gauss_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauss_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

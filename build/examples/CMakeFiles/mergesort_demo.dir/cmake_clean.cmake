@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mergesort_demo.dir/mergesort_demo.cpp.o"
+  "CMakeFiles/mergesort_demo.dir/mergesort_demo.cpp.o.d"
+  "mergesort_demo"
+  "mergesort_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mergesort_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neural_demo.dir/neural_demo.cpp.o"
+  "CMakeFiles/neural_demo.dir/neural_demo.cpp.o.d"
+  "neural_demo"
+  "neural_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neural_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

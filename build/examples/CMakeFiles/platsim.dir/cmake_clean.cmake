@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platsim.dir/platsim.cpp.o"
+  "CMakeFiles/platsim.dir/platsim.cpp.o.d"
+  "platsim"
+  "platsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ports_demo.dir/ports_demo.cpp.o"
+  "CMakeFiles/ports_demo.dir/ports_demo.cpp.o.d"
+  "ports_demo"
+  "ports_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ports_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/gauss.cc" "src/CMakeFiles/platinum.dir/apps/gauss.cc.o" "gcc" "src/CMakeFiles/platinum.dir/apps/gauss.cc.o.d"
+  "/root/repo/src/apps/mergesort.cc" "src/CMakeFiles/platinum.dir/apps/mergesort.cc.o" "gcc" "src/CMakeFiles/platinum.dir/apps/mergesort.cc.o.d"
+  "/root/repo/src/apps/neural.cc" "src/CMakeFiles/platinum.dir/apps/neural.cc.o" "gcc" "src/CMakeFiles/platinum.dir/apps/neural.cc.o.d"
+  "/root/repo/src/apps/patterns.cc" "src/CMakeFiles/platinum.dir/apps/patterns.cc.o" "gcc" "src/CMakeFiles/platinum.dir/apps/patterns.cc.o.d"
+  "/root/repo/src/apps/workloads.cc" "src/CMakeFiles/platinum.dir/apps/workloads.cc.o" "gcc" "src/CMakeFiles/platinum.dir/apps/workloads.cc.o.d"
+  "/root/repo/src/base/check.cc" "src/CMakeFiles/platinum.dir/base/check.cc.o" "gcc" "src/CMakeFiles/platinum.dir/base/check.cc.o.d"
+  "/root/repo/src/baseline/raw_memory.cc" "src/CMakeFiles/platinum.dir/baseline/raw_memory.cc.o" "gcc" "src/CMakeFiles/platinum.dir/baseline/raw_memory.cc.o.d"
+  "/root/repo/src/hw/atc.cc" "src/CMakeFiles/platinum.dir/hw/atc.cc.o" "gcc" "src/CMakeFiles/platinum.dir/hw/atc.cc.o.d"
+  "/root/repo/src/hw/pmap.cc" "src/CMakeFiles/platinum.dir/hw/pmap.cc.o" "gcc" "src/CMakeFiles/platinum.dir/hw/pmap.cc.o.d"
+  "/root/repo/src/hw/processor.cc" "src/CMakeFiles/platinum.dir/hw/processor.cc.o" "gcc" "src/CMakeFiles/platinum.dir/hw/processor.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/CMakeFiles/platinum.dir/kernel/kernel.cc.o" "gcc" "src/CMakeFiles/platinum.dir/kernel/kernel.cc.o.d"
+  "/root/repo/src/kernel/report.cc" "src/CMakeFiles/platinum.dir/kernel/report.cc.o" "gcc" "src/CMakeFiles/platinum.dir/kernel/report.cc.o.d"
+  "/root/repo/src/kernel/thread.cc" "src/CMakeFiles/platinum.dir/kernel/thread.cc.o" "gcc" "src/CMakeFiles/platinum.dir/kernel/thread.cc.o.d"
+  "/root/repo/src/mem/advice.cc" "src/CMakeFiles/platinum.dir/mem/advice.cc.o" "gcc" "src/CMakeFiles/platinum.dir/mem/advice.cc.o.d"
+  "/root/repo/src/mem/cmap.cc" "src/CMakeFiles/platinum.dir/mem/cmap.cc.o" "gcc" "src/CMakeFiles/platinum.dir/mem/cmap.cc.o.d"
+  "/root/repo/src/mem/coherent_memory.cc" "src/CMakeFiles/platinum.dir/mem/coherent_memory.cc.o" "gcc" "src/CMakeFiles/platinum.dir/mem/coherent_memory.cc.o.d"
+  "/root/repo/src/mem/cpage.cc" "src/CMakeFiles/platinum.dir/mem/cpage.cc.o" "gcc" "src/CMakeFiles/platinum.dir/mem/cpage.cc.o.d"
+  "/root/repo/src/mem/defrost.cc" "src/CMakeFiles/platinum.dir/mem/defrost.cc.o" "gcc" "src/CMakeFiles/platinum.dir/mem/defrost.cc.o.d"
+  "/root/repo/src/mem/fault_handler.cc" "src/CMakeFiles/platinum.dir/mem/fault_handler.cc.o" "gcc" "src/CMakeFiles/platinum.dir/mem/fault_handler.cc.o.d"
+  "/root/repo/src/mem/policy.cc" "src/CMakeFiles/platinum.dir/mem/policy.cc.o" "gcc" "src/CMakeFiles/platinum.dir/mem/policy.cc.o.d"
+  "/root/repo/src/mem/shootdown.cc" "src/CMakeFiles/platinum.dir/mem/shootdown.cc.o" "gcc" "src/CMakeFiles/platinum.dir/mem/shootdown.cc.o.d"
+  "/root/repo/src/mem/trace.cc" "src/CMakeFiles/platinum.dir/mem/trace.cc.o" "gcc" "src/CMakeFiles/platinum.dir/mem/trace.cc.o.d"
+  "/root/repo/src/runtime/parallel.cc" "src/CMakeFiles/platinum.dir/runtime/parallel.cc.o" "gcc" "src/CMakeFiles/platinum.dir/runtime/parallel.cc.o.d"
+  "/root/repo/src/runtime/shared_array.cc" "src/CMakeFiles/platinum.dir/runtime/shared_array.cc.o" "gcc" "src/CMakeFiles/platinum.dir/runtime/shared_array.cc.o.d"
+  "/root/repo/src/runtime/sync.cc" "src/CMakeFiles/platinum.dir/runtime/sync.cc.o" "gcc" "src/CMakeFiles/platinum.dir/runtime/sync.cc.o.d"
+  "/root/repo/src/runtime/zone_allocator.cc" "src/CMakeFiles/platinum.dir/runtime/zone_allocator.cc.o" "gcc" "src/CMakeFiles/platinum.dir/runtime/zone_allocator.cc.o.d"
+  "/root/repo/src/sim/fiber.cc" "src/CMakeFiles/platinum.dir/sim/fiber.cc.o" "gcc" "src/CMakeFiles/platinum.dir/sim/fiber.cc.o.d"
+  "/root/repo/src/sim/interconnect.cc" "src/CMakeFiles/platinum.dir/sim/interconnect.cc.o" "gcc" "src/CMakeFiles/platinum.dir/sim/interconnect.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/platinum.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/platinum.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/memory_module.cc" "src/CMakeFiles/platinum.dir/sim/memory_module.cc.o" "gcc" "src/CMakeFiles/platinum.dir/sim/memory_module.cc.o.d"
+  "/root/repo/src/sim/params.cc" "src/CMakeFiles/platinum.dir/sim/params.cc.o" "gcc" "src/CMakeFiles/platinum.dir/sim/params.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/CMakeFiles/platinum.dir/sim/scheduler.cc.o" "gcc" "src/CMakeFiles/platinum.dir/sim/scheduler.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/platinum.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/platinum.dir/sim/stats.cc.o.d"
+  "/root/repo/src/uma/cache.cc" "src/CMakeFiles/platinum.dir/uma/cache.cc.o" "gcc" "src/CMakeFiles/platinum.dir/uma/cache.cc.o.d"
+  "/root/repo/src/uma/uma_machine.cc" "src/CMakeFiles/platinum.dir/uma/uma_machine.cc.o" "gcc" "src/CMakeFiles/platinum.dir/uma/uma_machine.cc.o.d"
+  "/root/repo/src/vm/address_space.cc" "src/CMakeFiles/platinum.dir/vm/address_space.cc.o" "gcc" "src/CMakeFiles/platinum.dir/vm/address_space.cc.o.d"
+  "/root/repo/src/vm/memory_object.cc" "src/CMakeFiles/platinum.dir/vm/memory_object.cc.o" "gcc" "src/CMakeFiles/platinum.dir/vm/memory_object.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmap_test.dir/cmap_test.cc.o"
+  "CMakeFiles/cmap_test.dir/cmap_test.cc.o.d"
+  "cmap_test"
+  "cmap_test.pdb"
+  "cmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

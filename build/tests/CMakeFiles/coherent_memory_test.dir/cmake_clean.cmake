@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherent_memory_test.dir/coherent_memory_test.cc.o"
+  "CMakeFiles/coherent_memory_test.dir/coherent_memory_test.cc.o.d"
+  "coherent_memory_test"
+  "coherent_memory_test.pdb"
+  "coherent_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherent_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

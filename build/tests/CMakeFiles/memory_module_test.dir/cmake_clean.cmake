@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_module_test.dir/memory_module_test.cc.o"
+  "CMakeFiles/memory_module_test.dir/memory_module_test.cc.o.d"
+  "memory_module_test"
+  "memory_module_test.pdb"
+  "memory_module_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_module_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_params_test.dir/stats_params_test.cc.o"
+  "CMakeFiles/stats_params_test.dir/stats_params_test.cc.o.d"
+  "stats_params_test"
+  "stats_params_test.pdb"
+  "stats_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

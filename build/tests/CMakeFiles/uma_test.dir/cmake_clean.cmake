@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uma_test.dir/uma_test.cc.o"
+  "CMakeFiles/uma_test.dir/uma_test.cc.o.d"
+  "uma_test"
+  "uma_test.pdb"
+  "uma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
