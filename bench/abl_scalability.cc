@@ -93,6 +93,7 @@ int main(int argc, char** argv) {
     table.AddRow(p, {GaussAt(p), SortAt(p)});
   }
   table.Print();
+  bench::MaybeWriteJson(table, "abl_scalability");
 
   std::printf("\n--- write-miss invalidation vs. replica count (64-node machine) ---\n");
   double previous = 0;

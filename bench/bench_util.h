@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/export.h"
+#include "src/obs/json.h"
 #include "src/sim/time.h"
 
 namespace platinum::bench {
@@ -53,6 +55,39 @@ class SpeedupTable {
     }
   }
 
+  // Machine-readable form of the table, mirroring Print().
+  std::string ToJson() const {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("title").Value(title_);
+    w.Key("systems").BeginArray();
+    for (const std::string& system : systems_) {
+      w.Value(system);
+    }
+    w.EndArray();
+    w.Key("rows").BeginArray();
+    for (const Row& row : rows_) {
+      w.BeginObject();
+      w.Key("processors").Value(row.processors);
+      w.Key("seconds").BeginArray();
+      for (sim::SimTime t : row.times) {
+        w.Value(sim::ToSeconds(t));
+      }
+      w.EndArray();
+      w.Key("speedups").BeginArray();
+      for (size_t i = 0; i < row.times.size(); ++i) {
+        double t = sim::ToSeconds(row.times[i]);
+        double base = sim::ToSeconds(rows_.front().times[i]);
+        w.Value(t > 0 ? base / t : 0.0);
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    return w.str();
+  }
+
  private:
   struct Row {
     int processors;
@@ -64,6 +99,19 @@ class SpeedupTable {
 };
 
 inline void PrintPaperNote(const char* note) { std::printf("paper: %s\n", note); }
+
+// When PLATINUM_JSON_DIR is set, writes the table as
+// $PLATINUM_JSON_DIR/<bench_name>.json so plotting scripts can pick the
+// series up without scraping stdout. A no-op otherwise.
+inline void MaybeWriteJson(const SpeedupTable& table, const std::string& bench_name) {
+  const char* dir = std::getenv("PLATINUM_JSON_DIR");
+  if (dir == nullptr || dir[0] == '\0') {
+    return;
+  }
+  std::string path = std::string(dir) + "/" + bench_name + ".json";
+  obs::WriteFileOrDie(path, table.ToJson());
+  std::printf("wrote %s\n", path.c_str());
+}
 
 }  // namespace platinum::bench
 

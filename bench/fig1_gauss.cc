@@ -81,6 +81,7 @@ int main(int argc, char** argv) {
     table.AddRow(p, {RunPlatinum(p), RunUniform(p), RunSmp(p)});
   }
   table.Print();
+  bench::MaybeWriteJson(table, "fig1_gauss");
   bench::PrintPaperNote(
       "16-processor speedups on the Butterfly Plus (800x800): PLATINUM 13.5, "
       "Uniform System 10.6, SMP message passing 15.3. Expected shape: "

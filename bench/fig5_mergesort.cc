@@ -72,6 +72,7 @@ int main(int argc, char** argv) {
     table.AddRow(p, {RunPlatinum(p), RunSequent(p)});
   }
   table.Print();
+  bench::MaybeWriteJson(table, "fig5_mergesort");
   bench::PrintPaperNote(
       "the program shows better speedup on the Butterfly Plus under PLATINUM "
       "than on the Sequent Symmetry for the same problem size and processor "

@@ -5,11 +5,17 @@
 //   $ ./build/examples/platsim gauss --procs=8 --n=128 --policy=always --report
 //   $ ./build/examples/platsim neural --procs=16 --trace
 //   $ ./build/examples/platsim pattern --kind=migratory --think-us=15000
+//   $ ./build/examples/platsim gauss --procs=8 --trace-json=out.json
+//         --stats-json=stats.json --histograms
 //
 // Workloads: gauss | sort | neural | pattern
 // Options:   --procs=N --n=N --count=N --epochs=N --policy=NAME --page=BYTES
 //            --t1-ms=N --no-defrost --adaptive-defrost --kind=PATTERN
 //            --think-us=N --report --trace
+//            --trace-json=FILE   Chrome/Perfetto trace-event JSON
+//            --stats-json=FILE   counters + histograms + report as JSON
+//            --histograms        print latency histograms and counter tables
+//            --validate          check the emitted JSON, exit 1 on failure
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +29,8 @@
 #include "src/kernel/kernel.h"
 #include "src/kernel/report.h"
 #include "src/mem/policy.h"
+#include "src/obs/export.h"
+#include "src/obs/json.h"
 #include "src/sim/machine.h"
 
 using namespace platinum;  // NOLINT
@@ -44,6 +52,10 @@ struct Options {
   int think_us = 200;
   bool report = false;
   bool trace = false;
+  std::string trace_json;
+  std::string stats_json;
+  bool histograms = false;
+  bool validate = false;
 };
 
 bool StartsWith(const char* arg, const char* prefix, const char** value) {
@@ -84,10 +96,18 @@ Options Parse(int argc, char** argv) {
       options.defrost = false;
     } else if (std::strcmp(argv[i], "--adaptive-defrost") == 0) {
       options.adaptive = true;
+    } else if (StartsWith(argv[i], "--trace-json=", &value)) {
+      options.trace_json = value;
+    } else if (StartsWith(argv[i], "--stats-json=", &value)) {
+      options.stats_json = value;
     } else if (std::strcmp(argv[i], "--report") == 0) {
       options.report = true;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       options.trace = true;
+    } else if (std::strcmp(argv[i], "--histograms") == 0) {
+      options.histograms = true;
+    } else if (std::strcmp(argv[i], "--validate") == 0) {
+      options.validate = true;
     }
   }
   return options;
@@ -140,8 +160,10 @@ int main(int argc, char** argv) {
   kernel_options.policy = MakePolicy(options);
   kernel_options.start_defrost_daemon = options.defrost;
   kernel::Kernel kernel(&machine, std::move(kernel_options));
-  if (options.trace) {
-    kernel.memory().EnableTracing(8192);
+  if (options.trace || !options.trace_json.empty()) {
+    // The JSON exporter wants the whole run, not just the tail, so give it a
+    // much deeper buffer than the human-readable dump needs.
+    kernel.memory().EnableTracing(options.trace_json.empty() ? 8192 : 65536);
   }
 
   std::printf("platsim: %s, %d processors, policy=%s, page=%u B\n",
@@ -199,5 +221,38 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(kernel.memory().trace()->recorded()),
                 static_cast<unsigned long long>(kernel.memory().trace()->dropped()));
   }
-  return 0;
+  if (options.histograms) {
+    std::printf("\n%s", machine.obs().ToString().c_str());
+  }
+
+  bool valid = true;
+  if (!options.trace_json.empty()) {
+    std::string doc = obs::ExportChromeTrace(machine, kernel.memory().trace());
+    obs::WriteFileOrDie(options.trace_json, doc);
+    std::printf("wrote %s (%zu bytes)\n", options.trace_json.c_str(), doc.size());
+    if (options.validate) {
+      if (!obs::CheckJsonBalanced(doc) || !obs::CheckJsonHasKey(doc, "traceEvents") ||
+          !obs::CheckTraceTsMonotone(doc)) {
+        std::fprintf(stderr, "validation FAILED for %s\n", options.trace_json.c_str());
+        valid = false;
+      }
+    }
+  }
+  if (!options.stats_json.empty()) {
+    kernel::MemoryReport mem_report = BuildMemoryReport(kernel);
+    std::string doc = obs::ExportStatsJson(machine, &mem_report);
+    obs::WriteFileOrDie(options.stats_json, doc);
+    std::printf("wrote %s (%zu bytes)\n", options.stats_json.c_str(), doc.size());
+    if (options.validate) {
+      if (!obs::CheckJsonBalanced(doc) || !obs::CheckJsonHasKey(doc, "histograms") ||
+          !obs::CheckJsonHasKey(doc, "per_processor")) {
+        std::fprintf(stderr, "validation FAILED for %s\n", options.stats_json.c_str());
+        valid = false;
+      }
+    }
+  }
+  if (options.validate && valid) {
+    std::printf("validation OK\n");
+  }
+  return valid ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 #include "src/apps/workloads.h"
 #include "src/base/check.h"
 #include "src/baseline/raw_memory.h"
+#include "src/obs/scope.h"
 #include "src/runtime/parallel.h"
 #include "src/runtime/shared_array.h"
 #include "src/runtime/sync.h"
@@ -118,6 +119,9 @@ GaussResult RunGaussPlatinum(kernel::Kernel& kernel, const GaussConfig& config) 
   result.elimination_ns = kernel.machine().scheduler().global_now() - t_start;
 
   if (config.verify) {
+    // Separate phase so the verification sweep's faults and latencies don't
+    // pollute the elimination phase in exported stats.
+    obs::PhaseMarker verify_phase(kernel.machine(), "gauss-verify");
     Checksum sum;
     kernel.SpawnThread(space, 0, "gauss-check", [&] {
       for (int i = 0; i < n; ++i) {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/base/check.h"
+#include "src/obs/scope.h"
 
 namespace platinum::kernel {
 
@@ -79,6 +80,9 @@ Thread* Kernel::SpawnThread(vm::AddressSpace* space, int processor, std::string 
 
   sim::Fiber* fiber = machine_->scheduler().Spawn(
       processor, std::move(name), [this, thread, body = std::move(body)] {
+        // The thread's whole lifetime becomes a span on its processor's
+        // track in the exported trace.
+        obs::ObsScope span(*machine_, thread->name());
         machine_->Compute(machine_->params().thread_spawn_ns);
         memory_->Activate(thread->address_space().id(), thread->processor_);
         body();

@@ -46,6 +46,9 @@ class Kernel {
 
   sim::Machine& machine() { return *machine_; }
   mem::CoherentMemory& memory() { return *memory_; }
+  // The machine-wide instrumentation registry (histograms, per-processor
+  // counters, spans, phases) — see src/obs/observability.h.
+  obs::Observability& observability() { return machine_->obs(); }
   sim::SimTime Now() const { return machine_->scheduler().now(); }
   int num_processors() const { return machine_->num_nodes(); }
 

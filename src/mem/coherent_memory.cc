@@ -177,7 +177,17 @@ void CoherentMemory::EnableTracing(size_t capacity) {
 void CoherentMemory::Trace(TraceEventType type, const Cpage& page, int processor,
                            uint32_t detail) {
   if (trace_ != nullptr) {
-    trace_->Record(machine_->scheduler().now(), type, page.id(), processor, detail);
+    const sim::Fiber* fiber = machine_->scheduler().current();
+    trace_->Record(machine_->scheduler().now(), type, page.id(), processor, detail,
+                   fiber != nullptr ? fiber->id() : 0);
+  }
+}
+
+void CoherentMemory::TraceGlobal(TraceEventType type, int processor, uint32_t detail) {
+  if (trace_ != nullptr) {
+    const sim::Fiber* fiber = machine_->scheduler().current();
+    trace_->Record(machine_->scheduler().now(), type, kTraceNoCpage, processor, detail,
+                   fiber != nullptr ? fiber->id() : 0);
   }
 }
 

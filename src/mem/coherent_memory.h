@@ -106,12 +106,13 @@ class CoherentMemory {
   // stay frozen forever under the default policy.
   void StartDefrostDaemon();
   // One defrost pass: invalidates all translations to every frozen page and
-  // thaws it. Runs on the caller (daemon or test).
-  void ThawAllFrozen();
+  // thaws it. Runs on the caller (daemon or test). Returns pages thawed.
+  size_t ThawAllFrozen();
   // Thaws a single page (the explicit "thaw" hook mentioned in Section 4.2).
   void Thaw(uint32_t cpage_id);
   // Thaws every page frozen at least `min_age` ago (adaptive-defrost pass).
-  void ThawExpired(sim::SimTime min_age);
+  // Returns pages thawed.
+  size_t ThawExpired(sim::SimTime min_age);
   size_t frozen_count() const { return frozen_list_.size(); }
 
   // --- Instrumentation (Sections 1.1, 9) -------------------------------------------
@@ -164,8 +165,11 @@ class CoherentMemory {
   // lock), so HandleFault excludes it from handler_busy_until.
   sim::SimTime fault_copy_ns_ = 0;
   void FreeCopy(Cpage& page, int module);
-  // Records a protocol event if tracing is enabled.
+  // Records a protocol event if tracing is enabled (the faulting fiber id is
+  // captured automatically).
   void Trace(TraceEventType type, const Cpage& page, int processor, uint32_t detail);
+  // As Trace, for events not tied to a coherent page (defrost scans).
+  void TraceGlobal(TraceEventType type, int processor, uint32_t detail);
   // Central fault-time choice: advice first, then the replication policy.
   bool DecideCache(Cpage& page, const FaultInfo& fault, sim::SimTime now);
   // Marks the page frozen if the policy (or its advice) wants declined pages

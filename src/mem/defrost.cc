@@ -34,7 +34,9 @@ void CoherentMemory::StartDefrostDaemon() {
               wake = std::min(wake, std::max(deadline, now + sim::kMillisecond));
             }
             sched.Sleep(wake - now);
-            ThawExpired(t2);
+            size_t thawed = ThawExpired(t2);
+            TraceGlobal(TraceEventType::kDefrostScan, machine_->params().defrost_processor,
+                        static_cast<uint32_t>(thawed));
           }
         },
         /*daemon=*/true);
@@ -45,13 +47,15 @@ void CoherentMemory::StartDefrostDaemon() {
       [this] {
         for (;;) {
           machine_->scheduler().Sleep(machine_->params().t2_defrost_period_ns);
-          ThawAllFrozen();
+          size_t thawed = ThawAllFrozen();
+          TraceGlobal(TraceEventType::kDefrostScan, machine_->params().defrost_processor,
+                      static_cast<uint32_t>(thawed));
         }
       },
       /*daemon=*/true);
 }
 
-void CoherentMemory::ThawExpired(sim::SimTime min_age) {
+size_t CoherentMemory::ThawExpired(sim::SimTime min_age) {
   sim::SimTime now = machine_->scheduler().now();
   std::vector<uint32_t> expired;
   for (uint32_t id : frozen_list_) {
@@ -63,13 +67,15 @@ void CoherentMemory::ThawExpired(sim::SimTime min_age) {
   for (uint32_t id : expired) {
     Thaw(id);
   }
+  return expired.size();
 }
 
-void CoherentMemory::ThawAllFrozen() {
+size_t CoherentMemory::ThawAllFrozen() {
   // Thaw the current batch; pages refrozen by faults racing this pass go on a
   // fresh list for the next period.
   std::vector<uint32_t> batch = std::move(frozen_list_);
   frozen_list_.clear();
+  size_t thawed = 0;
   for (uint32_t id : batch) {
     Cpage& page = cpages_.at(id);
     if (!page.frozen()) {
@@ -78,7 +84,9 @@ void CoherentMemory::ThawAllFrozen() {
     // Unfreeze expects the page on the list; temporarily restore it.
     frozen_list_.push_back(id);
     Thaw(id);
+    ++thawed;
   }
+  return thawed;
 }
 
 void CoherentMemory::Thaw(uint32_t cpage_id) {

@@ -21,13 +21,19 @@ AccessOutcome CoherentMemory::HandleFault(uint32_t as_id, uint32_t vpn, sim::Acc
   Cmap& cm = cmap(as_id);
   CmapEntry& entry = cm.entry(vpn);
 
+  sim::SimTime fault_entered = sched.now();
+
   // Trap entry, Cmap lookup, and the fixed handler overhead (Section 4).
   machine_->Compute(params.fault_fixed_ns);
   ++machine_->stats().faults;
+  obs::ProcessorCounters& cpu = machine_->obs().cpu(processor);
+  ++cpu.faults;
   if (kind == sim::AccessKind::kWrite) {
     ++machine_->stats().write_faults;
+    ++cpu.write_faults;
   } else {
     ++machine_->stats().read_faults;
+    ++cpu.read_faults;
   }
 
   if (!entry.bound()) {
@@ -70,6 +76,9 @@ AccessOutcome CoherentMemory::HandleFault(uint32_t as_id, uint32_t vpn, sim::Acc
   sim::SimTime handler_end = sched.now();
   page.handler_busy_until =
       handler_end - (fault_copy_ns_ < handler_end ? fault_copy_ns_ : handler_end);
+  // Service time as the faulting thread experienced it: trap to resolution,
+  // including handler serialization and the block-transfer portion.
+  machine_->obs().RecordLatency(obs::HistKind::kFaultService, handler_end - fault_entered);
   PLAT_DCHECK([&] {
     page.CheckInvariants();
     return true;
@@ -98,6 +107,7 @@ void CoherentMemory::HandleReadFault(Cmap& cm, CmapEntry& entry, Cpage& page, ui
     page.AddCopy(copy);
     page.SetState(CpageState::kPresent1);
     ++machine_->stats().initial_fills;
+    ++machine_->obs().cpu(processor).initial_fills;
     Trace(TraceEventType::kFill, page, processor, static_cast<uint32_t>(copy.module));
     EnterMapping(cm, entry, page, vpn, processor, copy, hw::Rights::kRead);
     return;
@@ -138,6 +148,7 @@ void CoherentMemory::HandleReadFault(Cmap& cm, CmapEntry& entry, Cpage& page, ui
     page.SetState(CpageState::kPresentPlus);
     ++page.stats().replications;
     ++machine_->stats().replications;
+    ++machine_->obs().cpu(processor).replications;
     Trace(TraceEventType::kReplicate, page, processor, static_cast<uint32_t>(frame->module));
     EnterMapping(cm, entry, page, vpn, processor, *frame, hw::Rights::kRead);
     return;
@@ -148,6 +159,7 @@ void CoherentMemory::HandleReadFault(Cmap& cm, CmapEntry& entry, Cpage& page, ui
   EnterMapping(cm, entry, page, vpn, processor, copy, hw::Rights::kRead);
   ++page.stats().remote_maps;
   ++machine_->stats().remote_maps;
+  ++machine_->obs().cpu(processor).remote_maps;
   Trace(TraceEventType::kRemoteMap, page, processor, static_cast<uint32_t>(copy.module));
   if (!cache) {
     MaybeFreeze(page);
@@ -164,6 +176,7 @@ void CoherentMemory::HandleWriteFault(Cmap& cm, CmapEntry& entry, Cpage& page, u
     page.AddCopy(copy);
     page.SetState(CpageState::kModified);
     ++machine_->stats().initial_fills;
+    ++machine_->obs().cpu(processor).initial_fills;
     Trace(TraceEventType::kFill, page, processor, static_cast<uint32_t>(copy.module));
     EnterMapping(cm, entry, page, vpn, processor, copy, hw::Rights::kReadWrite);
     return;
@@ -238,6 +251,7 @@ void CoherentMemory::HandleWriteFault(Cmap& cm, CmapEntry& entry, Cpage& page, u
     page.SetState(CpageState::kModified);
     ++page.stats().migrations;
     ++machine_->stats().migrations;
+    ++machine_->obs().cpu(processor).migrations;
     Trace(TraceEventType::kMigrate, page, processor, static_cast<uint32_t>(frame->module));
     EnterMapping(cm, entry, page, vpn, processor, *frame, hw::Rights::kReadWrite);
     return;
@@ -272,6 +286,7 @@ void CoherentMemory::HandleWriteFault(Cmap& cm, CmapEntry& entry, Cpage& page, u
   page.SetState(CpageState::kModified);
   ++page.stats().remote_maps;
   ++machine_->stats().remote_maps;
+  ++machine_->obs().cpu(processor).remote_maps;
   Trace(TraceEventType::kRemoteMap, page, processor, static_cast<uint32_t>(copy.module));
   if (!cache) {
     MaybeFreeze(page);
@@ -297,6 +312,7 @@ std::optional<PhysicalCopy> CoherentMemory::AllocateFrame(Cpage& page, int prefe
     sim::SimTime per_probe =
         module == current ? params.local_read_ns : params.remote_read_ns;
     machine_->Compute(static_cast<sim::SimTime>(result->probes) * per_probe);
+    ++machine_->obs().module(module).frames_allocated;
     return PhysicalCopy{static_cast<int16_t>(module), result->frame};
   };
 
@@ -355,6 +371,14 @@ void CoherentMemory::FreeCopy(Cpage& page, int module) {
   machine_->module(module).FreeFrame(copy.frame);
   machine_->Compute(machine_->params().page_free_ns);
   ++machine_->stats().pages_freed;
+  ++machine_->obs().module(module).frames_freed;
+  int processor = machine_->scheduler().current() != nullptr
+                      ? machine_->scheduler().current_processor()
+                      : -1;
+  if (processor >= 0) {
+    ++machine_->obs().cpu(processor).pages_freed;
+  }
+  Trace(TraceEventType::kPageFree, page, processor, static_cast<uint32_t>(module));
 }
 
 bool CoherentMemory::DecideCache(Cpage& page, const FaultInfo& fault, sim::SimTime now) {

@@ -106,16 +106,25 @@ void CoherentMemory::CommitShootdown(const Cpage& page, const ShootdownRound& ro
     return;  // nothing happened
   }
   ++machine_->stats().shootdowns;
+  if (initiator >= 0) {
+    ++machine_->obs().cpu(initiator).shootdowns_initiated;
+  }
   Trace(TraceEventType::kShootdown, page, initiator,
         static_cast<uint32_t>(std::popcount(round.interrupted_mask)));
   if (round.interrupted_mask != 0) {
     int interrupted = std::popcount(round.interrupted_mask);
-    machine_->Compute(params.shootdown_setup_ns +
-                      static_cast<sim::SimTime>(interrupted) * params.shootdown_per_processor_ns);
+    sim::SimTime round_cost =
+        params.shootdown_setup_ns +
+        static_cast<sim::SimTime>(interrupted) * params.shootdown_per_processor_ns;
+    machine_->Compute(round_cost);
+    // Initiator-side round-trip of a synchronous round (rounds that only
+    // post lazy messages cost nothing and are not recorded).
+    machine_->obs().RecordLatency(obs::HistKind::kShootdown, round_cost);
     machine_->stats().ipis_sent += static_cast<uint64_t>(interrupted);
     for (int p = 0; p < machine_->num_nodes(); ++p) {
       if ((round.interrupted_mask >> p) & 1) {
         machine_->scheduler().AddInterruptCost(p, params.ipi_handler_ns);
+        ++machine_->obs().cpu(p).ipis_received;
       }
     }
   }

@@ -4,8 +4,6 @@
 #include <cstdio>
 #include <sstream>
 
-#include "src/base/check.h"
-
 namespace platinum::mem {
 
 const char* TraceEventTypeName(TraceEventType type) {
@@ -26,23 +24,33 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "thaw";
     case TraceEventType::kShootdown:
       return "shootdown";
+    case TraceEventType::kDefrostScan:
+      return "defrost-scan";
+    case TraceEventType::kPageFree:
+      return "page-free";
   }
   return "?";
 }
 
-TraceLog::TraceLog(size_t capacity) : buffer_(capacity) {
-  PLAT_CHECK_GT(capacity, size_t{0});
+TraceLog::TraceLog(size_t capacity) : buffer_(capacity) {}
+
+void TraceLog::Record(const TraceEvent& event) {
+  if (!buffer_.empty()) {
+    buffer_[recorded_ % buffer_.size()] = event;
+  }
+  ++recorded_;
 }
 
 void TraceLog::Record(sim::SimTime time, TraceEventType type, uint32_t cpage, int processor,
-                      uint32_t detail) {
-  buffer_[recorded_ % buffer_.size()] =
-      TraceEvent{time, type, cpage, static_cast<int16_t>(processor), detail};
-  ++recorded_;
+                      uint32_t detail, uint32_t thread) {
+  Record(TraceEvent{time, type, cpage, static_cast<int16_t>(processor), detail, thread});
 }
 
 std::vector<TraceEvent> TraceLog::Snapshot() const {
   std::vector<TraceEvent> events;
+  if (buffer_.empty()) {
+    return events;
+  }
   uint64_t count = recorded_ < buffer_.size() ? recorded_ : buffer_.size();
   events.reserve(count);
   uint64_t first = recorded_ - count;
@@ -60,12 +68,20 @@ std::string TraceLog::ToString(size_t last) const {
   std::vector<TraceEvent> events = Snapshot();
   size_t first = events.size() > last ? events.size() - last : 0;
   std::ostringstream out;
-  char line[96];
+  char line[128];
   for (size_t i = first; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
-    std::snprintf(line, sizeof(line), "%12.3f ms  cpu%-3d %-10s cpage=%-6" PRIu32 " detail=%u\n",
-                  sim::ToMilliseconds(e.time), e.processor, TraceEventTypeName(e.type), e.cpage,
-                  e.detail);
+    if (e.cpage == kTraceNoCpage) {
+      std::snprintf(line, sizeof(line),
+                    "%12.3f ms  cpu%-3d %-12s detail=%-6u thread=%u\n",
+                    sim::ToMilliseconds(e.time), e.processor, TraceEventTypeName(e.type),
+                    e.detail, e.thread);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "%12.3f ms  cpu%-3d %-12s cpage=%-6" PRIu32 " detail=%-6u thread=%u\n",
+                    sim::ToMilliseconds(e.time), e.processor, TraceEventTypeName(e.type),
+                    e.cpage, e.detail, e.thread);
+    }
     out << line;
   }
   return out.str();

@@ -4,8 +4,10 @@
 // kernel to help interpret its behavior... useful to application
 // programmers, compiler writers, and system implementors." The trace log is
 // a ring buffer of protocol events (faults, replications, migrations,
-// freezes, shootdowns) with virtual timestamps; it is the machine-readable
-// companion of the post-mortem report in src/kernel/report.h.
+// freezes, shootdowns, defrost scans, page frees) with virtual timestamps;
+// it is the machine-readable companion of the post-mortem report in
+// src/kernel/report.h and feeds the Chrome/Perfetto exporter in
+// src/obs/export.h.
 #ifndef SRC_MEM_TRACE_H_
 #define SRC_MEM_TRACE_H_
 
@@ -18,17 +20,24 @@
 namespace platinum::mem {
 
 enum class TraceEventType : uint8_t {
-  kFault,      // detail: 0 = read, 1 = write
-  kFill,       // first physical copy created
-  kReplicate,  // detail: source module
-  kMigrate,    // detail: destination module
-  kRemoteMap,  // detail: module mapped
+  kFault,        // detail: 0 = read, 1 = write
+  kFill,         // first physical copy created
+  kReplicate,    // detail: source module
+  kMigrate,      // detail: destination module
+  kRemoteMap,    // detail: module mapped
   kFreeze,
   kThaw,
-  kShootdown,  // detail: processors interrupted
+  kShootdown,    // detail: processors interrupted
+  kDefrostScan,  // defrost-daemon pass; detail: pages thawed
+  kPageFree,     // physical copy reclaimed; detail: module freed
 };
 
+// Named via a switch with no default: adding an enumerator without a name
+// fails the build (-Wswitch) instead of silently printing "?".
 const char* TraceEventTypeName(TraceEventType type);
+
+// Marker for events not tied to a coherent page (e.g. defrost scans).
+inline constexpr uint32_t kTraceNoCpage = UINT32_MAX;
 
 struct TraceEvent {
   sim::SimTime time = 0;
@@ -36,22 +45,29 @@ struct TraceEvent {
   uint32_t cpage = 0;
   int16_t processor = -1;
   uint32_t detail = 0;
+  // Fiber id of the thread that caused the event (0 outside any fiber).
+  uint32_t thread = 0;
 };
 
-// Fixed-capacity ring buffer; old events are dropped, never reallocated.
+// Fixed-capacity ring buffer; old events are dropped, never reallocated. A
+// capacity of 0 is a valid "count only" log: every event is recorded into
+// recorded()/dropped() but none is retained.
 class TraceLog {
  public:
   explicit TraceLog(size_t capacity);
 
+  void Record(const TraceEvent& event);
   void Record(sim::SimTime time, TraceEventType type, uint32_t cpage, int processor,
-              uint32_t detail);
+              uint32_t detail, uint32_t thread = 0);
 
+  size_t capacity() const { return buffer_.size(); }
   // Events currently retained, oldest first.
   std::vector<TraceEvent> Snapshot() const;
   uint64_t recorded() const { return recorded_; }
   uint64_t dropped() const;
 
-  // Human-readable dump of the most recent `last` events.
+  // Human-readable dump of the most recent `last` events (all retained
+  // events when `last` exceeds the retained count).
   std::string ToString(size_t last = 32) const;
 
  private:

@@ -1,0 +1,34 @@
+// Machine-readable exporters for the instrumentation subsystem.
+//
+// Two documents:
+//   * ExportChromeTrace — the Chrome/Perfetto trace-event JSON format
+//     (load in https://ui.perfetto.dev or chrome://tracing). Protocol events
+//     from the TraceLog become instant events on the initiating processor's
+//     track; ObsScope spans and PhaseMarker phases become complete events.
+//     Events are sorted by timestamp, as the viewers expect.
+//   * ExportStatsJson — MachineStats, the per-processor / per-module counter
+//     breakdowns, latency histograms with percentiles, phases, and
+//     (optionally) the post-mortem MemoryReport, as one JSON object.
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <string>
+
+#include "src/kernel/report.h"
+#include "src/mem/trace.h"
+#include "src/sim/machine.h"
+
+namespace platinum::obs {
+
+// `trace` may be null (spans and phases alone still make a useful trace).
+std::string ExportChromeTrace(const sim::Machine& machine, const mem::TraceLog* trace);
+
+// `report` may be null.
+std::string ExportStatsJson(const sim::Machine& machine, const kernel::MemoryReport* report);
+
+// Writes `text` to `path`; aborts the process on I/O failure.
+void WriteFileOrDie(const std::string& path, const std::string& text);
+
+}  // namespace platinum::obs
+
+#endif  // SRC_OBS_EXPORT_H_

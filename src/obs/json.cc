@@ -1,0 +1,195 @@
+#include "src/obs/json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace platinum::obs {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (need_comma_) {
+    out_ += ',';
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Separate();
+  out_ += '{';
+  ++depth_;
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  --depth_;
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Separate();
+  out_ += '[';
+  ++depth_;
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  --depth_;
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& key) {
+  Separate();
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const std::string& text) {
+  Separate();
+  out_ += '"';
+  out_ += JsonEscape(text);
+  out_ += '"';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const char* text) { return Value(std::string(text)); }
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  Separate();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t v) {
+  Separate();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int v) { return Value(static_cast<int64_t>(v)); }
+
+JsonWriter& JsonWriter::Value(double v) {
+  Separate();
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out_ += buf;
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  Separate();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+namespace {
+
+// Advances `i` past a JSON string (assumes text[i] == '"'). Returns false on
+// an unterminated string.
+bool SkipString(const std::string& text, size_t* i) {
+  for (size_t j = *i + 1; j < text.size(); ++j) {
+    if (text[j] == '\\') {
+      ++j;
+      continue;
+    }
+    if (text[j] == '"') {
+      *i = j;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool CheckJsonBalanced(const std::string& text) {
+  std::vector<char> stack;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '"') {
+      if (!SkipString(text, &i)) {
+        return false;
+      }
+    } else if (c == '{' || c == '[') {
+      stack.push_back(c);
+    } else if (c == '}' || c == ']') {
+      char open = c == '}' ? '{' : '[';
+      if (stack.empty() || stack.back() != open) {
+        return false;
+      }
+      stack.pop_back();
+    }
+  }
+  return stack.empty();
+}
+
+bool CheckJsonHasKey(const std::string& text, const std::string& key) {
+  std::string needle = "\"" + key + "\":";
+  return text.find(needle) != std::string::npos;
+}
+
+bool CheckTraceTsMonotone(const std::string& text) {
+  const std::string needle = "\"ts\":";
+  double last = -1e300;
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    double ts = std::strtod(text.c_str() + pos, nullptr);
+    if (ts < last) {
+      return false;
+    }
+    last = ts;
+  }
+  return true;
+}
+
+}  // namespace platinum::obs

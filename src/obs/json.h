@@ -1,0 +1,57 @@
+// Minimal JSON emission and validity checking — no external dependencies.
+//
+// JsonWriter builds syntactically valid JSON incrementally (it tracks
+// nesting and comma placement); the Check* helpers are the "minimal validity
+// checker" used by tests and by platsim --validate: balanced
+// braces/brackets outside strings, presence of required keys, and monotone
+// non-decreasing "ts" fields in a Chrome trace.
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+
+namespace platinum::obs {
+
+std::string JsonEscape(const std::string& text);
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  // Introduces the next object member; must be followed by a value (or
+  // Begin*). Outside an object, writes nothing but the separator.
+  JsonWriter& Key(const std::string& key);
+  JsonWriter& Value(const std::string& text);
+  JsonWriter& Value(const char* text);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(int v);
+  JsonWriter& Value(double v);
+  JsonWriter& Value(bool v);
+
+  // The document so far. Valid JSON once every Begin has been Ended.
+  const std::string& str() const { return out_; }
+  int depth() const { return depth_; }
+
+ private:
+  void Separate();
+  std::string out_;
+  int depth_ = 0;
+  bool need_comma_ = false;
+  bool after_key_ = false;
+};
+
+// Braces, brackets, and quotes balance (string-aware, handles escapes).
+bool CheckJsonBalanced(const std::string& text);
+// `"key":` appears somewhere in the document.
+bool CheckJsonHasKey(const std::string& text, const std::string& key);
+// Every `"ts":` number is >= the previous one (Chrome trace ordering). A
+// document with no ts fields passes.
+bool CheckTraceTsMonotone(const std::string& text);
+
+}  // namespace platinum::obs
+
+#endif  // SRC_OBS_JSON_H_

@@ -1,0 +1,51 @@
+// RAII helpers that let the runtime and applications annotate the trace.
+//
+// ObsScope records a named span (virtual-time interval on the current
+// processor/fiber) into the machine's Observability when it goes out of
+// scope; PhaseMarker opens a named phase whose counter and histogram deltas
+// are attributed to it. Both are cheap enough to leave in experiment code
+// permanently.
+#ifndef SRC_OBS_SCOPE_H_
+#define SRC_OBS_SCOPE_H_
+
+#include <string>
+
+#include "src/sim/machine.h"
+#include "src/sim/time.h"
+
+namespace platinum::obs {
+
+class ObsScope {
+ public:
+  // Captures the current virtual time, processor, and fiber. Must be
+  // destroyed on the same machine (fiber migration mid-span is fine; the
+  // span keeps the processor it started on).
+  ObsScope(sim::Machine& machine, std::string name);
+  ~ObsScope();
+
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+ private:
+  sim::Machine& machine_;
+  std::string name_;
+  int16_t processor_;
+  uint32_t thread_;
+  sim::SimTime begin_;
+};
+
+class PhaseMarker {
+ public:
+  PhaseMarker(sim::Machine& machine, std::string name);
+  ~PhaseMarker();
+
+  PhaseMarker(const PhaseMarker&) = delete;
+  PhaseMarker& operator=(const PhaseMarker&) = delete;
+
+ private:
+  sim::Machine& machine_;
+};
+
+}  // namespace platinum::obs
+
+#endif  // SRC_OBS_SCOPE_H_

@@ -1,6 +1,7 @@
 #include "src/runtime/parallel.h"
 
 #include "src/base/check.h"
+#include "src/obs/scope.h"
 
 namespace platinum::rt {
 
@@ -8,6 +9,10 @@ void RunOnProcessors(kernel::Kernel& kernel, vm::AddressSpace* space, int num_pr
                      const std::string& name, const std::function<void(int)>& body) {
   PLAT_CHECK_GT(num_processors, 0);
   PLAT_CHECK_LE(num_processors, kernel.num_processors());
+
+  // Every fork-join region is an experiment phase: counters and latency
+  // histograms recorded inside it are attributed to `name`.
+  obs::PhaseMarker phase(kernel.machine(), name);
 
   std::vector<kernel::Thread*> threads;
   threads.reserve(num_processors);

@@ -7,10 +7,11 @@
 namespace platinum::sim {
 
 Interconnect::Interconnect(const MachineParams& params, std::vector<MemoryModule>* modules,
-                           MachineStats* stats)
-    : params_(params), modules_(modules), stats_(stats) {
+                           MachineStats* stats, obs::Observability* obs)
+    : params_(params), modules_(modules), stats_(stats), obs_(obs) {
   PLAT_CHECK(modules_ != nullptr);
   PLAT_CHECK(stats_ != nullptr);
+  PLAT_CHECK(obs_ != nullptr);
 }
 
 SimTime Interconnect::Reference(int requester_node, int target_node, AccessKind kind,
@@ -26,6 +27,7 @@ SimTime Interconnect::Reference(int requester_node, int target_node, AccessKind 
     } else {
       ++stats_->local_writes;
     }
+    ++obs_->cpu(requester_node).local_refs;
   } else {
     base = kind == AccessKind::kRead ? params_.remote_read_ns : params_.remote_write_ns;
     occupancy = params_.module_occupancy_remote_ns;
@@ -34,6 +36,7 @@ SimTime Interconnect::Reference(int requester_node, int target_node, AccessKind 
     } else {
       ++stats_->remote_writes;
     }
+    ++obs_->cpu(requester_node).remote_refs;
   }
 
   MemoryModule& module = (*modules_)[target_node];
@@ -41,6 +44,10 @@ SimTime Interconnect::Reference(int requester_node, int target_node, AccessKind 
   module.bus_busy_until = start + occupancy;
   SimTime wait = start - now;
   stats_->module_wait_ns += wait;
+  obs::ModuleCounters& counters = obs_->module(target_node);
+  ++counters.references_served;
+  counters.queue_wait_ns += wait;
+  obs_->RecordLatency(obs::HistKind::kModuleQueue, wait);
   return wait + base;
 }
 
@@ -62,6 +69,8 @@ SimTime Interconnect::BlockTransfer(int src_node, int dst_node, uint32_t words, 
   stats_->module_wait_ns += start - now;
   ++stats_->block_transfers;
   stats_->block_words_copied += words;
+  ++obs_->module(src_node).block_transfers_out;
+  ++obs_->module(dst_node).block_transfers_in;
   return end;
 }
 

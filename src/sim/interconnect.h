@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/obs/observability.h"
 #include "src/sim/memory_module.h"
 #include "src/sim/params.h"
 #include "src/sim/stats.h"
@@ -25,7 +26,7 @@ enum class AccessKind : uint8_t { kRead, kWrite };
 class Interconnect {
  public:
   Interconnect(const MachineParams& params, std::vector<MemoryModule>* modules,
-               MachineStats* stats);
+               MachineStats* stats, obs::Observability* obs);
 
   // Latency of one 32-bit reference issued at virtual time `now` by
   // `requester_node` against `target_node`'s module, including any time spent
@@ -41,6 +42,7 @@ class Interconnect {
   const MachineParams& params_;
   std::vector<MemoryModule>* modules_;
   MachineStats* stats_;
+  obs::Observability* obs_;
 };
 
 }  // namespace platinum::sim

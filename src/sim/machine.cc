@@ -11,8 +11,9 @@ Machine::Machine(const MachineParams& params)
         params.Validate();
         return params;
       }()),
+      obs_(params_.num_processors),
       scheduler_(params_.num_processors, params_.quantum_ns, params_.fiber_stack_bytes),
-      interconnect_(params_, &modules_, &stats_) {
+      interconnect_(params_, &modules_, &stats_, &obs_) {
   modules_.reserve(params_.num_processors);
   for (int node = 0; node < params_.num_processors; ++node) {
     modules_.emplace_back(node, params_);
@@ -35,11 +36,15 @@ SimTime Machine::Reference(int target_node, AccessKind kind) {
 void Machine::BlockTransferPage(int src_node, uint32_t src_frame, int dst_node,
                                 uint32_t dst_frame) {
   PLAT_CHECK_NE(src_node, dst_node);
+  SimTime started = scheduler_.now();
   SimTime done = interconnect_.BlockTransfer(src_node, dst_node, params_.words_per_page(),
-                                             scheduler_.now());
+                                             started);
   std::memcpy(modules_[dst_node].FrameData(dst_frame), modules_[src_node].FrameData(src_frame),
               params_.page_size_bytes);
   scheduler_.AdvanceTo(done);
+  // Request-to-completion duration, including the time queued behind other
+  // traffic on either bus.
+  obs_.RecordLatency(obs::HistKind::kBlockTransfer, done - started);
 }
 
 uint32_t Machine::ReadWordRaw(int node, uint32_t frame, uint32_t word_offset) const {

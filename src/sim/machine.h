@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/obs/observability.h"
 #include "src/sim/interconnect.h"
 #include "src/sim/memory_module.h"
 #include "src/sim/params.h"
@@ -26,8 +27,11 @@ class Machine {
 
   const MachineParams& params() const { return params_; }
   Scheduler& scheduler() { return scheduler_; }
+  const Scheduler& scheduler() const { return scheduler_; }
   MachineStats& stats() { return stats_; }
   const MachineStats& stats() const { return stats_; }
+  obs::Observability& obs() { return obs_; }
+  const obs::Observability& obs() const { return obs_; }
   int num_nodes() const { return params_.num_processors; }
 
   MemoryModule& module(int node);
@@ -61,6 +65,7 @@ class Machine {
  private:
   const MachineParams params_;
   MachineStats stats_;
+  obs::Observability obs_;
   Scheduler scheduler_;
   std::vector<MemoryModule> modules_;
   Interconnect interconnect_;

@@ -10,17 +10,18 @@ namespace {
 
 class InterconnectTest : public ::testing::Test {
  protected:
-  InterconnectTest() : params_(ButterflyPlusParams(4)) {
+  InterconnectTest() : params_(ButterflyPlusParams(4)), obs_(4) {
     params_.frames_per_module = 8;
     for (int i = 0; i < 4; ++i) {
       modules_.emplace_back(i, params_);
     }
-    net_ = std::make_unique<Interconnect>(params_, &modules_, &stats_);
+    net_ = std::make_unique<Interconnect>(params_, &modules_, &stats_, &obs_);
   }
 
   MachineParams params_;
   std::vector<MemoryModule> modules_;
   MachineStats stats_;
+  obs::Observability obs_;
   std::unique_ptr<Interconnect> net_;
 };
 

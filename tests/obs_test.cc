@@ -1,0 +1,353 @@
+// Tests for the observability subsystem: histogram percentile math (golden
+// values), trace-log ring-buffer edge cases, the JSON writer/checkers, and a
+// round trip through the Perfetto/stats exporters on a real run.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/kernel/report.h"
+#include "src/mem/trace.h"
+#include "src/obs/export.h"
+#include "src/obs/histogram.h"
+#include "src/obs/json.h"
+#include "src/obs/observability.h"
+#include "src/obs/scope.h"
+#include "src/runtime/parallel.h"
+#include "src/runtime/shared_array.h"
+#include "src/runtime/zone_allocator.h"
+#include "tests/test_util.h"
+
+namespace platinum {
+namespace {
+
+using obs::LatencyHistogram;
+using test::TestSystem;
+
+// --- Histogram bucket geometry ----------------------------------------------
+
+TEST(HistogramTest, BucketIndexBoundaries) {
+  EXPECT_EQ(LatencyHistogram::BucketIndex(0), 0);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1), 1);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(2), 2);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(3), 2);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(4), 3);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1023), 10);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(1024), 11);
+  // The top bucket absorbs everything too large for its own power of two.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(~sim::SimTime{0}), LatencyHistogram::kBuckets - 1);
+}
+
+TEST(HistogramTest, BucketBoundsAreInclusiveAndAdjacent) {
+  EXPECT_EQ(LatencyHistogram::BucketLower(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketUpper(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketLower(1), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketUpper(1), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketLower(10), 512u);
+  EXPECT_EQ(LatencyHistogram::BucketUpper(10), 1023u);
+  for (int b = 1; b < LatencyHistogram::kBuckets - 1; ++b) {
+    EXPECT_EQ(LatencyHistogram::BucketUpper(b) + 1, LatencyHistogram::BucketLower(b + 1));
+  }
+  EXPECT_EQ(LatencyHistogram::BucketUpper(LatencyHistogram::kBuckets - 1), ~sim::SimTime{0});
+}
+
+// --- Percentile golden values ------------------------------------------------
+
+TEST(HistogramTest, EmptyHistogramIsAllZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+}
+
+TEST(HistogramTest, SingleValueDominatesEveryPercentile) {
+  LatencyHistogram h;
+  h.Record(1000);
+  // The bucket estimate would be the bucket bound (1023), but the clamp to
+  // the observed [min, max] recovers the exact value.
+  EXPECT_EQ(h.Percentile(0), 1000u);
+  EXPECT_EQ(h.Percentile(50), 1000u);
+  EXPECT_EQ(h.Percentile(99), 1000u);
+  EXPECT_EQ(h.Percentile(100), 1000u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.Mean(), 1000.0);
+}
+
+TEST(HistogramTest, GoldenPercentilesAcrossFourBuckets) {
+  // 100 -> bucket 7 [64,127], 200 -> bucket 8 [128,255],
+  // 400 -> bucket 9 [256,511], 800 -> bucket 10 [512,1023].
+  LatencyHistogram h;
+  for (sim::SimTime v : {100, 200, 400, 800}) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1500u);
+  EXPECT_EQ(h.Mean(), 375.0);
+  // p25: rank ceil(0.25*4)=1 lands at the end of bucket 7 -> upper bound 127.
+  EXPECT_EQ(h.Percentile(25), 127u);
+  // p50: rank 2 lands at the end of bucket 8 -> upper bound 255.
+  EXPECT_EQ(h.Percentile(50), 255u);
+  // p90: rank ceil(3.6)=4 -> end of bucket 10 (1023), clamped to max 800.
+  EXPECT_EQ(h.Percentile(90), 800u);
+  EXPECT_EQ(h.Percentile(99), 800u);
+}
+
+TEST(HistogramTest, IdenticalValuesClampToExactValue) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) {
+    h.Record(1000);
+  }
+  // Interpolation inside [512, 1023] would say 767 for p50; the clamp to
+  // min=1000 restores the truth.
+  EXPECT_EQ(h.Percentile(50), 1000u);
+  EXPECT_EQ(h.Percentile(99), 1000u);
+}
+
+TEST(HistogramTest, ZeroesLiveInBucketZero) {
+  LatencyHistogram h;
+  for (int i = 0; i < 4; ++i) {
+    h.Record(0);
+  }
+  EXPECT_EQ(h.buckets()[0], 4u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, SinceReportsTheDelta) {
+  LatencyHistogram h;
+  h.Record(100);
+  LatencyHistogram snapshot = h;
+  h.Record(800);
+  LatencyHistogram d = h.Since(snapshot);
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_EQ(d.sum(), 800u);
+  EXPECT_EQ(d.buckets()[10], 1u);
+  EXPECT_EQ(d.buckets()[7], 0u);
+}
+
+// --- TraceLog ring buffer -----------------------------------------------------
+
+mem::TraceEvent EventAt(sim::SimTime time, uint32_t thread = 0) {
+  return mem::TraceEvent{time, mem::TraceEventType::kFault, 1, 0, 0, thread};
+}
+
+TEST(TraceLogTest, WraparoundKeepsNewestOldestFirst) {
+  mem::TraceLog log(4);
+  for (sim::SimTime t = 0; t < 10; ++t) {
+    log.Record(EventAt(t));
+  }
+  EXPECT_EQ(log.recorded(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);
+  std::vector<mem::TraceEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].time, 6 + i);
+  }
+}
+
+TEST(TraceLogTest, CapacityZeroCountsButRetainsNothing) {
+  mem::TraceLog log(0);
+  for (sim::SimTime t = 0; t < 3; ++t) {
+    log.Record(EventAt(t));
+  }
+  EXPECT_EQ(log.capacity(), 0u);
+  EXPECT_EQ(log.recorded(), 3u);
+  EXPECT_EQ(log.dropped(), 3u);
+  EXPECT_TRUE(log.Snapshot().empty());
+  EXPECT_EQ(log.ToString(), "");
+}
+
+TEST(TraceLogTest, ToStringWithLastBeyondRecorded) {
+  mem::TraceLog log(8);
+  log.Record(EventAt(10));
+  log.Record(EventAt(20));
+  std::string dump = log.ToString(100);
+  // Both events, nothing else, no crash.
+  EXPECT_NE(dump.find("fault"), std::string::npos);
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_EQ(log.Snapshot().size(), 2u);
+}
+
+TEST(TraceLogTest, RecordsFaultingThread) {
+  mem::TraceLog log(4);
+  log.Record(EventAt(5, /*thread=*/42));
+  EXPECT_EQ(log.Snapshot().at(0).thread, 42u);
+}
+
+TEST(TraceLogTest, EventTypeNamesAreExhaustive) {
+  EXPECT_STREQ(mem::TraceEventTypeName(mem::TraceEventType::kDefrostScan), "defrost-scan");
+  EXPECT_STREQ(mem::TraceEventTypeName(mem::TraceEventType::kPageFree), "page-free");
+  EXPECT_STREQ(mem::TraceEventTypeName(mem::TraceEventType::kFault), "fault");
+  EXPECT_STREQ(mem::TraceEventTypeName(mem::TraceEventType::kShootdown), "shootdown");
+}
+
+// --- JSON writer and checkers -------------------------------------------------
+
+TEST(JsonTest, WriterProducesExactDocument) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("name").Value("a \"b\"\n");
+  w.Key("n").Value(3);
+  w.Key("xs").BeginArray().Value(uint64_t{1}).Value(uint64_t{2}).EndArray();
+  w.Key("ok").Value(true);
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"name\":\"a \\\"b\\\"\\n\",\"n\":3,\"xs\":[1,2],\"ok\":true}");
+  EXPECT_EQ(w.depth(), 0);
+}
+
+TEST(JsonTest, BalancedChecker) {
+  EXPECT_TRUE(obs::CheckJsonBalanced("{\"a\":[1,2,{\"b\":\"}\"}]}"));
+  EXPECT_TRUE(obs::CheckJsonBalanced("{}"));
+  EXPECT_FALSE(obs::CheckJsonBalanced("{\"a\":1"));
+  EXPECT_FALSE(obs::CheckJsonBalanced("{[}]"));
+  EXPECT_FALSE(obs::CheckJsonBalanced("{\"unterminated"));
+}
+
+TEST(JsonTest, HasKeyChecker) {
+  const std::string doc = "{\"traceEvents\":[],\"other\":1}";
+  EXPECT_TRUE(obs::CheckJsonHasKey(doc, "traceEvents"));
+  EXPECT_FALSE(obs::CheckJsonHasKey(doc, "missing"));
+}
+
+TEST(JsonTest, TsMonotoneChecker) {
+  EXPECT_TRUE(obs::CheckTraceTsMonotone("[{\"ts\":1.5},{\"ts\":1.5},{\"ts\":2.0}]"));
+  EXPECT_FALSE(obs::CheckTraceTsMonotone("[{\"ts\":2.0},{\"ts\":1.0}]"));
+  EXPECT_TRUE(obs::CheckTraceTsMonotone("{\"no_ts\":true}"));
+}
+
+// --- Spans and phases ----------------------------------------------------------
+
+TEST(ObsTest, ScopeRecordsSpanWithProcessorAndFiber) {
+  TestSystem sys(2);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  sys.kernel.SpawnThread(space, 1, "worker", [&] {
+    obs::ObsScope scope(sys.machine, "inner-work");
+    sys.machine.scheduler().Sleep(5 * sim::kMicrosecond);
+  });
+  sys.kernel.Run();
+  // SpawnThread itself opens a span for the thread body, so at least two.
+  const std::vector<obs::Span>& spans = sys.machine.obs().spans();
+  ASSERT_GE(spans.size(), 2u);
+  bool found = false;
+  for (const obs::Span& span : spans) {
+    if (span.name == "inner-work") {
+      found = true;
+      EXPECT_EQ(span.processor, 1);
+      EXPECT_GE(span.end - span.begin, 5 * sim::kMicrosecond);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsTest, PhasesNestAndCloseInnermostFirst) {
+  obs::Observability obs(2);
+  sim::MachineStats stats;
+  EXPECT_EQ(obs.current_phase(), "");
+  obs.BeginPhase("outer", 10, stats);
+  obs.BeginPhase("inner", 20, stats);
+  EXPECT_EQ(obs.current_phase(), "inner");
+  stats.faults = 7;
+  obs.EndPhase(30, stats);
+  EXPECT_EQ(obs.current_phase(), "outer");
+  stats.faults = 9;
+  obs.EndPhase(40, stats);
+  EXPECT_EQ(obs.current_phase(), "");
+  ASSERT_EQ(obs.phases().size(), 2u);
+  EXPECT_EQ(obs.phases()[0].name, "outer");
+  EXPECT_EQ(obs.phases()[0].delta.faults, 9u);
+  EXPECT_EQ(obs.phases()[1].name, "inner");
+  EXPECT_EQ(obs.phases()[1].delta.faults, 7u);
+  EXPECT_FALSE(obs.phases()[0].open);
+}
+
+// --- Exporter round trip --------------------------------------------------------
+
+TEST(ObsTest, ExportersProduceValidDocumentsFromARealRun) {
+  TestSystem sys(4);
+  sys.kernel.memory().EnableTracing(1024);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  auto arr = rt::SharedArray<uint32_t>::Create(zone, "data", 64);
+  rt::RunOnProcessors(sys.kernel, space, 4, "stress", [&](int pid) {
+    for (int round = 0; round < 4; ++round) {
+      for (size_t i = 0; i < 64; ++i) {
+        arr.Set(i, arr.Get(i) + static_cast<uint32_t>(pid));
+      }
+    }
+  });
+
+  const obs::Observability& obs = sys.machine.obs();
+  // The shared writes must have produced faults and per-processor activity.
+  EXPECT_GT(obs.hist(obs::HistKind::kFaultService).count(), 0u);
+  EXPECT_GT(obs.hist(obs::HistKind::kModuleQueue).count(), 0u);
+  uint64_t cpu_faults = 0;
+  for (int p = 0; p < 4; ++p) {
+    cpu_faults += obs.cpu(p).faults;
+  }
+  EXPECT_EQ(cpu_faults, sys.machine.stats().faults);
+  uint64_t served = 0;
+  for (int m = 0; m < 4; ++m) {
+    served += obs.module(m).references_served;
+  }
+  EXPECT_GT(served, 0u);
+
+  // The fork-join region became a closed phase with attributed faults.
+  ASSERT_GE(obs.phases().size(), 1u);
+  EXPECT_EQ(obs.phases()[0].name, "stress");
+  EXPECT_FALSE(obs.phases()[0].open);
+  EXPECT_GT(obs.phases()[0].delta.faults, 0u);
+  EXPECT_GT(obs.phases()[0].hist_delta[0].count, 0u);  // fault_service delta
+
+  std::string trace = obs::ExportChromeTrace(sys.machine, sys.kernel.memory().trace());
+  EXPECT_TRUE(obs::CheckJsonBalanced(trace));
+  EXPECT_TRUE(obs::CheckJsonHasKey(trace, "traceEvents"));
+  EXPECT_TRUE(obs::CheckTraceTsMonotone(trace));
+  EXPECT_NE(trace.find("\"cpu0\""), std::string::npos);
+  EXPECT_NE(trace.find("\"stress\""), std::string::npos);
+
+  kernel::MemoryReport report = BuildMemoryReport(sys.kernel);
+  std::string stats = obs::ExportStatsJson(sys.machine, &report);
+  EXPECT_TRUE(obs::CheckJsonBalanced(stats));
+  for (const char* key : {"sim_time_ns", "machine", "per_processor", "per_module",
+                          "histograms", "fault_service", "p50_ns", "p99_ns", "phases",
+                          "report"}) {
+    EXPECT_TRUE(obs::CheckJsonHasKey(stats, key)) << "missing key " << key;
+  }
+
+  // Without a trace log the exporter still produces a valid document from
+  // spans and phases alone.
+  std::string no_log = obs::ExportChromeTrace(sys.machine, nullptr);
+  EXPECT_TRUE(obs::CheckJsonBalanced(no_log));
+  EXPECT_TRUE(obs::CheckTraceTsMonotone(no_log));
+}
+
+TEST(ObsTest, DefrostScanEventsCarryNoCpage) {
+  // A run with tracing and the defrost daemon produces defrost-scan events
+  // marked with kTraceNoCpage.
+  TestSystem sys(2);
+  sys.kernel.memory().EnableTracing(4096);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  auto arr = rt::SharedArray<uint32_t>::Create(zone, "data", 8);
+  sys.kernel.SpawnThread(space, 0, "sleeper", [&] {
+    arr.Set(0, 1);
+    // Sleep past a defrost period so the daemon scans at least once.
+    sys.machine.scheduler().Sleep(2 * sys.machine.params().t2_defrost_period_ns);
+  });
+  sys.kernel.Run();
+  bool saw_scan = false;
+  for (const mem::TraceEvent& e : sys.kernel.memory().trace()->Snapshot()) {
+    if (e.type == mem::TraceEventType::kDefrostScan) {
+      saw_scan = true;
+      EXPECT_EQ(e.cpage, mem::kTraceNoCpage);
+    }
+  }
+  EXPECT_TRUE(saw_scan);
+}
+
+}  // namespace
+}  // namespace platinum
