@@ -7,8 +7,13 @@
 //   $ ./build/examples/platsim pattern --kind=migratory --think-us=15000
 //   $ ./build/examples/platsim gauss --procs=8 --trace-json=out.json
 //         --stats-json=stats.json --histograms
+//   $ ./build/examples/platsim gauss --check-races --check-invariants
+//   $ ./build/examples/platsim explore --procs=2 --pages=1
 //
-// Workloads: gauss | sort | neural | pattern
+// Workloads: gauss | sort | neural | pattern | racy | explore
+//   racy     deliberately unsynchronized writers (the race-detector demo;
+//            with --check-races it exits 1)
+//   explore  bounded model checking of the protocol (docs/CHECKING.md)
 // Options:   --procs=N --n=N --count=N --epochs=N --policy=NAME --page=BYTES
 //            --t1-ms=N --no-defrost --adaptive-defrost --kind=PATTERN
 //            --think-us=N --report --trace
@@ -16,6 +21,10 @@
 //            --stats-json=FILE   counters + histograms + report as JSON
 //            --histograms        print latency histograms and counter tables
 //            --validate          check the emitted JSON, exit 1 on failure
+//            --check-races       vector-clock race detection, exit 1 on a race
+//            --check-invariants  full invariant check after every transition
+//            --pages=N --depth=N explorer configuration
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,11 +35,17 @@
 #include "src/apps/mergesort.h"
 #include "src/apps/neural.h"
 #include "src/apps/patterns.h"
+#include "src/check/explorer.h"
+#include "src/check/oracle.h"
+#include "src/check/race_detector.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/report.h"
 #include "src/mem/policy.h"
 #include "src/obs/export.h"
 #include "src/obs/json.h"
+#include "src/runtime/parallel.h"
+#include "src/runtime/shared_array.h"
+#include "src/runtime/zone_allocator.h"
 #include "src/sim/machine.h"
 
 using namespace platinum;  // NOLINT
@@ -56,6 +71,10 @@ struct Options {
   std::string stats_json;
   bool histograms = false;
   bool validate = false;
+  bool check_races = false;
+  bool check_invariants = false;
+  int pages = 1;
+  int depth = 32;
 };
 
 bool StartsWith(const char* arg, const char* prefix, const char** value) {
@@ -108,6 +127,14 @@ Options Parse(int argc, char** argv) {
       options.histograms = true;
     } else if (std::strcmp(argv[i], "--validate") == 0) {
       options.validate = true;
+    } else if (std::strcmp(argv[i], "--check-races") == 0) {
+      options.check_races = true;
+    } else if (std::strcmp(argv[i], "--check-invariants") == 0) {
+      options.check_invariants = true;
+    } else if (StartsWith(argv[i], "--pages=", &value)) {
+      options.pages = std::atoi(value);
+    } else if (StartsWith(argv[i], "--depth=", &value)) {
+      options.depth = std::atoi(value);
     }
   }
   return options;
@@ -150,6 +177,22 @@ apps::AccessPattern ParsePattern(const std::string& kind) {
 int main(int argc, char** argv) {
   Options options = Parse(argc, argv);
 
+  if (options.workload == "explore") {
+    // The explorer boots its own tiny machines; the shell options only
+    // parameterize the search.
+    check::ExplorerConfig config;
+    config.processors = options.procs;
+    config.pages = options.pages;
+    config.max_depth = options.depth;
+    config.policy = options.policy;
+    std::printf("platsim: protocol explorer, %d processors, %d page%s, policy=%s\n",
+                config.processors, config.pages, config.pages == 1 ? "" : "s",
+                config.policy.c_str());
+    check::ExplorerResult result = check::ExploreProtocol(config);
+    std::printf("explore: %s\n", result.Summary().c_str());
+    return 0;  // an invariant violation would have aborted
+  }
+
   sim::MachineParams params = sim::ButterflyPlusParams(16);
   params.page_size_bytes = options.page_bytes;
   params.frames_per_module = (4u << 20) / options.page_bytes;
@@ -160,6 +203,13 @@ int main(int argc, char** argv) {
   kernel_options.policy = MakePolicy(options);
   kernel_options.start_defrost_daemon = options.defrost;
   kernel::Kernel kernel(&machine, std::move(kernel_options));
+  std::unique_ptr<check::InvariantOracle> oracle;
+  if (options.check_invariants) {
+    oracle = std::make_unique<check::InvariantOracle>(&kernel.memory());
+  }
+  if (options.check_races) {
+    kernel.EnableRaceDetection();
+  }
   if (options.trace || !options.trace_json.empty()) {
     // The JSON exporter wants the whole run, not just the tail, so give it a
     // much deeper buffer than the human-readable dump needs.
@@ -206,8 +256,25 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(result.migrations),
         static_cast<unsigned long long>(result.remote_maps),
         static_cast<unsigned long long>(result.freezes));
+  } else if (options.workload == "racy") {
+    // Deliberately racy: unsynchronized read-modify-write of one shared word
+    // by every thread — the seeded workload the race detector must flag.
+    auto* space = kernel.CreateAddressSpace("racy");
+    rt::ZoneAllocator zone(&kernel, space);
+    auto shared = rt::SharedArray<uint32_t>::Create(zone, "racy-word", 1);
+    int workers = std::max(2, std::min(options.procs, kernel.num_processors()));
+    rt::RunOnProcessors(kernel, space, workers, "racy", [&](int) {
+      for (int i = 0; i < 64; ++i) {
+        shared.Set(0, shared.Get(0) + 1);
+      }
+    });
+    uint32_t final_value = 0;
+    rt::RunOnProcessors(kernel, space, 1, "racy-read",
+                        [&](int) { final_value = shared.Get(0); });
+    std::printf("racy: final value %u after %d unsynchronized writers\n", final_value,
+                workers);
   } else {
-    std::fprintf(stderr, "unknown workload '%s' (gauss|sort|neural|pattern)\n",
+    std::fprintf(stderr, "unknown workload '%s' (gauss|sort|neural|pattern|racy|explore)\n",
                  options.workload.c_str());
     return 1;
   }
@@ -226,6 +293,21 @@ int main(int argc, char** argv) {
   }
 
   bool valid = true;
+  if (options.check_races) {
+    check::RaceDetector* detector = kernel.race_detector();
+    std::printf("\n%s\n", detector->Summary().c_str());
+    for (const check::RaceReport& report : detector->reports()) {
+      std::printf("%s\n", report.ToString().c_str());
+    }
+    if (detector->races_found() > 0) {
+      valid = false;
+    }
+  }
+  if (options.check_invariants) {
+    std::printf("invariant oracle: %llu transitions checked, all invariants held\n",
+                static_cast<unsigned long long>(oracle->transitions_checked()));
+    oracle->CheckNow();
+  }
   if (!options.trace_json.empty()) {
     std::string doc = obs::ExportChromeTrace(machine, kernel.memory().trace());
     obs::WriteFileOrDie(options.trace_json, doc);

@@ -45,6 +45,11 @@ GaussResult RunGaussPlatinum(kernel::Kernel& kernel, const GaussConfig& config) 
   rt::SharedArray<uint32_t> control;
   if (config.colocate_size_and_flag) {
     control = rt::SharedArray<uint32_t>::Create(zone, "gauss-control", 2);
+    // Word 1 is a hand-rolled start flag the threads spin on — a
+    // synchronization variable even though it lives in a data zone (that
+    // co-location is the whole point of the anecdote). Word 0 is plain data,
+    // written before the barrier and only read after it.
+    kernel.RegisterSyncWords(space, control.va(1), 1);
   }
 
   sim::SimTime t_start = 0;

@@ -60,6 +60,14 @@ NeuralResult RunNeuralPlatinum(kernel::Kernel& kernel, const NeuralConfig& confi
   auto w = rt::SharedArray<int32_t>::Create(zone, "nn-weights",
                                             static_cast<size_t>(n_units) * n_units);
   rt::Barrier barrier(zone, "nn-barrier", static_cast<uint32_t>(p));
+  // The relaxation reads neighbors' activations, errors and weights while
+  // their owners update them, with no synchronization — chaotic relaxation
+  // relying only on word atomicity. Tell the race detector this sharing is
+  // intentional rather than a bug.
+  kernel.AnnotateIntentionalSharing(space, x.base_va(), static_cast<uint32_t>(n_units) * 4);
+  kernel.AnnotateIntentionalSharing(space, y.base_va(), static_cast<uint32_t>(n_units) * 4);
+  kernel.AnnotateIntentionalSharing(space, w.base_va(),
+                                    static_cast<uint32_t>(n_units) * n_units * 4);
   if (config.advise_write_shared) {
     kernel.AdviseMemory(space, x.base_va(), static_cast<uint32_t>(n_units) * 4,
                         mem::MemoryAdvice::kWriteShared);

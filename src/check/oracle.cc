@@ -1,0 +1,22 @@
+#include "src/check/oracle.h"
+
+#include "src/base/check.h"
+
+namespace platinum::check {
+
+InvariantOracle::InvariantOracle(mem::CoherentMemory* memory) : memory_(memory) {
+  PLAT_CHECK(memory_ != nullptr);
+  memory_->SetTransitionHook([this](const char* transition) {
+    ++transitions_checked_;
+    // PLAT_CHECK inside CheckInvariants aborts with the violated invariant;
+    // the transition name locates the offending protocol step.
+    (void)transition;
+    memory_->CheckInvariants();
+  });
+}
+
+InvariantOracle::~InvariantOracle() { memory_->SetTransitionHook(nullptr); }
+
+void InvariantOracle::CheckNow() { memory_->CheckInvariants(); }
+
+}  // namespace platinum::check

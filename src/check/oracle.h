@@ -1,0 +1,48 @@
+// Transition-level protocol invariant oracle.
+//
+// CoherentMemory::CheckInvariants validates the full cross-structure state:
+// directory (Cpage) invariants, reference masks vs private Pmaps vs ATCs,
+// the write-mapping census, rights domination (a read-write translation may
+// exist only while the directory says the page is modified, which with the
+// one-copy rule for modified pages gives "a writable copy implies exactly
+// one copy"), and the frozen list. The oracle attaches that check to every
+// completed protocol transition — fault resolution, defrost/thaw, pin,
+// pre-replicate, unbind — so a violated invariant aborts at the transition
+// that introduced it rather than at the end of the run.
+//
+// Transient mid-transition states (e.g. between a shootdown commit and the
+// directory update that follows it) are deliberately not checked: the hook
+// fires only when a top-level transition has completed, mirroring when the
+// per-Cpage handler lock would be released on the real machine.
+#ifndef SRC_CHECK_ORACLE_H_
+#define SRC_CHECK_ORACLE_H_
+
+#include <cstdint>
+
+#include "src/mem/coherent_memory.h"
+
+namespace platinum::check {
+
+class InvariantOracle {
+ public:
+  // Installs the transition hook on `memory`; detaches on destruction.
+  explicit InvariantOracle(mem::CoherentMemory* memory);
+  ~InvariantOracle();
+
+  InvariantOracle(const InvariantOracle&) = delete;
+  InvariantOracle& operator=(const InvariantOracle&) = delete;
+
+  // Runs the full invariant check once, outside any transition (e.g. at the
+  // end of a run). Aborts with a diagnostic on violation.
+  void CheckNow();
+
+  uint64_t transitions_checked() const { return transitions_checked_; }
+
+ private:
+  mem::CoherentMemory* memory_;
+  uint64_t transitions_checked_ = 0;
+};
+
+}  // namespace platinum::check
+
+#endif  // SRC_CHECK_ORACLE_H_

@@ -1,0 +1,172 @@
+#include "src/check/race_detector.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace platinum::check {
+
+namespace {
+
+// Keep reports bounded: a genuinely racy program touches many words.
+constexpr size_t kMaxReports = 64;
+
+std::string FiberName(uint32_t fiber) {
+  return fiber == mem::kNoFiber ? "host" : "fiber " + std::to_string(fiber);
+}
+
+}  // namespace
+
+std::string RaceReport::ToString() const {
+  std::ostringstream out;
+  out << "race on zone '" << zone << "' (as " << as_id << ", vpn " << vpn << ", word "
+      << word_offset << "): " << FiberName(prior_fiber) << " "
+      << (prior_is_write ? "wrote" : "read") << " at t=" << prior_time << "ns, "
+      << FiberName(fiber) << " " << (is_write ? "wrote" : "read") << " at t=" << time
+      << "ns with no ordering between them";
+  return out.str();
+}
+
+RaceDetector::RaceDetector(ZoneResolver zone_resolver)
+    : zone_resolver_(std::move(zone_resolver)) {
+  PLAT_CHECK(zone_resolver_ != nullptr);
+}
+
+RaceDetector::~RaceDetector() = default;
+
+VectorClock& RaceDetector::ClockFor(size_t slot) {
+  if (slot >= clocks_.size()) {
+    clocks_.resize(slot + 1);
+  }
+  VectorClock& clock = clocks_[slot];
+  if (clock.get(slot) == 0) {
+    // A slot's own component starts at 1 so an epoch of 0 can mean "never".
+    clock.set(slot, 1);
+  }
+  return clock;
+}
+
+void RaceDetector::OnThreadSpawn(uint32_t parent_fiber, uint32_t child_fiber) {
+  size_t parent = SlotFor(parent_fiber);
+  size_t child = SlotFor(child_fiber);
+  VectorClock parent_snapshot = ClockFor(parent);
+  ClockFor(child).Join(parent_snapshot);
+  // Work the parent does after the spawn is not ordered before the child.
+  ClockFor(parent).bump(parent);
+}
+
+void RaceDetector::OnThreadJoin(uint32_t joiner_fiber, uint32_t joinee_fiber) {
+  VectorClock joinee_snapshot = ClockFor(SlotFor(joinee_fiber));
+  ClockFor(SlotFor(joiner_fiber)).Join(joinee_snapshot);
+}
+
+void RaceDetector::OnThreadFinish(uint32_t fiber) {
+  // The host context resumes only after Scheduler::Run returns, i.e. after
+  // every fiber has finished, so joining at finish time is sound. Threads
+  // spawned from the host afterwards (e.g. an app's verification sweep)
+  // inherit this ordering through OnThreadSpawn.
+  VectorClock finished_snapshot = ClockFor(SlotFor(fiber));
+  ClockFor(0).Join(finished_snapshot);
+}
+
+void RaceDetector::RegisterSyncWord(uint32_t as_id, uint32_t vpn, uint32_t word_offset) {
+  sync_clocks_.try_emplace(Key(as_id, vpn, word_offset));
+}
+
+void RaceDetector::MarkIntentionalSharing(uint32_t as_id, uint32_t vpn,
+                                          uint32_t word_offset) {
+  intentional_.insert(Key(as_id, vpn, word_offset));
+}
+
+void RaceDetector::Report(const mem::MemoryAccess& access, WordState& word,
+                          uint32_t prior_slot, bool prior_is_write,
+                          sim::SimTime prior_time) {
+  ++races_found_;
+  if (word.reported || reports_.size() >= kMaxReports) {
+    return;
+  }
+  word.reported = true;
+  RaceReport report;
+  report.as_id = access.as_id;
+  report.vpn = access.vpn;
+  report.word_offset = access.word_offset;
+  report.zone = zone_resolver_(access.as_id, access.vpn);
+  report.prior_fiber = prior_slot == 0 ? mem::kNoFiber : static_cast<uint32_t>(prior_slot - 1);
+  report.prior_is_write = prior_is_write;
+  report.prior_time = prior_time;
+  report.fiber = access.fiber;
+  report.is_write = access.is_write;
+  report.time = access.time;
+  reports_.push_back(std::move(report));
+}
+
+void RaceDetector::OnMemoryAccess(const mem::MemoryAccess& access) {
+  uint64_t key = Key(access.as_id, access.vpn, access.word_offset);
+  if (intentional_.count(key) != 0) {
+    ++annotated_accesses_;
+    return;
+  }
+  size_t slot = SlotFor(access.fiber);
+  VectorClock& clock = ClockFor(slot);
+
+  auto sync_it = sync_clocks_.find(key);
+  if (sync_it != sync_clocks_.end()) {
+    ++sync_accesses_;
+    if (access.is_write) {
+      // Release: publish everything this fiber has done, then advance its
+      // component so later work is not retroactively ordered.
+      sync_it->second.Join(clock);
+      clock.bump(slot);
+    } else {
+      // Acquire: inherit everything published through this word.
+      clock.Join(sync_it->second);
+    }
+    return;
+  }
+
+  ++accesses_checked_;
+  WordState& word = words_[key];
+  uint32_t epoch = clock.get(slot);
+
+  // Conflict with the last write.
+  if (word.write_epoch != 0 && word.write_slot != slot &&
+      clock.get(word.write_slot) < word.write_epoch) {
+    Report(access, word, static_cast<uint32_t>(word.write_slot), /*prior_is_write=*/true,
+           word.write_time);
+  }
+  if (access.is_write) {
+    // Conflict with any read since the last write.
+    for (const ReadEntry& read : word.reads) {
+      if (read.slot != slot && clock.get(read.slot) < read.epoch) {
+        Report(access, word, static_cast<uint32_t>(read.slot), /*prior_is_write=*/false,
+               read.time);
+        break;
+      }
+    }
+    word.write_slot = static_cast<uint32_t>(slot);
+    word.write_epoch = epoch;
+    word.write_time = access.time;
+    word.reads.clear();
+  } else {
+    for (ReadEntry& read : word.reads) {
+      if (read.slot == slot) {
+        read.epoch = epoch;
+        read.time = access.time;
+        return;
+      }
+    }
+    word.reads.push_back(ReadEntry{static_cast<uint32_t>(slot), epoch, access.time});
+  }
+}
+
+std::string RaceDetector::Summary() const {
+  std::ostringstream out;
+  out << "race detector: " << accesses_checked_ << " data accesses checked, "
+      << sync_accesses_ << " sync-word accesses, " << annotated_accesses_
+      << " annotated (intentional sharing), " << races_found_ << " race"
+      << (races_found_ == 1 ? "" : "s") << " found";
+  return out.str();
+}
+
+}  // namespace platinum::check

@@ -1,0 +1,167 @@
+// Simulated data-race detector.
+//
+// The deterministic simulator routes every charged access to coherent memory
+// through CoherentMemory::Access, so a vector-clock detector can check each
+// word access for a conflicting, unsynchronized prior access — the
+// fine-grain write sharing the freeze policy exists to contain (Sections 4.2
+// and 6 of the paper). Happens-before edges come from two sources:
+//
+//   * thread lifecycle: spawn (child inherits the parent's clock), join
+//     (joiner inherits the joinee's clock), and finish (the host context
+//     inherits the finished fiber's clock, ordering work spawned later);
+//   * synchronization words: words registered by rt::SpinLock,
+//     rt::EventCountArray and rt::Barrier carry their own clock. Reading a
+//     sync word is an acquire (the reader joins the word's clock); writing
+//     one is a release (the word joins the writer's clock, whose own
+//     component then advances). The kernel's atomic read-modify-write is a
+//     read followed by a write, so a test-and-set or fetch-add performs an
+//     acquire and a release, exactly like the Butterfly's atomic remote
+//     operations used as synchronization.
+//
+// Sync-word clocks only ever grow, so the model is conservative in one
+// direction only: it can miss a race involving a sync word used in a
+// non-synchronizing way (false negative), but it never reports a race that
+// vector-clock ordering rules out (no false positives on data words).
+//
+// Zones whose sharing is intentional — the neural simulator's chaotic
+// relaxation updates activations, errors and weights with no synchronization
+// by design (Section 5.3) — are annotated via MarkIntentionalSharing and
+// excluded from checking.
+#ifndef SRC_CHECK_RACE_DETECTOR_H_
+#define SRC_CHECK_RACE_DETECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/mem/access_observer.h"
+#include "src/sim/time.h"
+
+namespace platinum::check {
+
+// A vector clock over detector slots. Slot 0 is the host context (code
+// running between Scheduler::Run calls); fiber f occupies slot f + 1.
+class VectorClock {
+ public:
+  uint32_t get(size_t slot) const { return slot < c_.size() ? c_[slot] : 0; }
+  void set(size_t slot, uint32_t value) {
+    Grow(slot);
+    c_[slot] = value;
+  }
+  void bump(size_t slot) {
+    Grow(slot);
+    ++c_[slot];
+  }
+  void Join(const VectorClock& other) {
+    if (other.c_.size() > c_.size()) {
+      c_.resize(other.c_.size(), 0);
+    }
+    for (size_t i = 0; i < other.c_.size(); ++i) {
+      if (other.c_[i] > c_[i]) {
+        c_[i] = other.c_[i];
+      }
+    }
+  }
+
+ private:
+  void Grow(size_t slot) {
+    if (slot >= c_.size()) {
+      c_.resize(slot + 1, 0);
+    }
+  }
+  std::vector<uint32_t> c_;
+};
+
+struct RaceReport {
+  uint32_t as_id = 0;
+  uint32_t vpn = 0;
+  uint32_t word_offset = 0;
+  std::string zone;  // name of the memory object backing the page
+
+  uint32_t prior_fiber = mem::kNoFiber;
+  bool prior_is_write = false;
+  sim::SimTime prior_time = 0;
+
+  uint32_t fiber = mem::kNoFiber;
+  bool is_write = false;
+  sim::SimTime time = 0;
+
+  std::string ToString() const;
+};
+
+class RaceDetector final : public mem::AccessObserver {
+ public:
+  // Maps (as_id, vpn) to the name of the allocating zone, for reports.
+  using ZoneResolver = std::function<std::string(uint32_t as_id, uint32_t vpn)>;
+
+  explicit RaceDetector(ZoneResolver zone_resolver);
+  ~RaceDetector() override;
+
+  RaceDetector(const RaceDetector&) = delete;
+  RaceDetector& operator=(const RaceDetector&) = delete;
+
+  // mem::AccessObserver — called for every charged word access.
+  void OnMemoryAccess(const mem::MemoryAccess& access) override;
+
+  // Thread-lifecycle happens-before edges (mem::kNoFiber = host context).
+  void OnThreadSpawn(uint32_t parent_fiber, uint32_t child_fiber);
+  void OnThreadJoin(uint32_t joiner_fiber, uint32_t joinee_fiber);
+  void OnThreadFinish(uint32_t fiber);
+
+  // Declares a word a synchronization variable (acquire/release semantics).
+  void RegisterSyncWord(uint32_t as_id, uint32_t vpn, uint32_t word_offset);
+  // Excludes a word from race checking (intentional unsynchronized sharing).
+  void MarkIntentionalSharing(uint32_t as_id, uint32_t vpn, uint32_t word_offset);
+
+  const std::vector<RaceReport>& reports() const { return reports_; }
+  uint64_t races_found() const { return races_found_; }
+  uint64_t accesses_checked() const { return accesses_checked_; }
+  uint64_t sync_accesses() const { return sync_accesses_; }
+  uint64_t annotated_accesses() const { return annotated_accesses_; }
+  std::string Summary() const;
+
+ private:
+  // A read of a data word since its last write, with the reader's epoch.
+  struct ReadEntry {
+    uint32_t slot = 0;
+    uint32_t epoch = 0;
+    sim::SimTime time = 0;
+  };
+  struct WordState {
+    uint32_t write_slot = 0;
+    uint32_t write_epoch = 0;  // 0 = never written
+    sim::SimTime write_time = 0;
+    std::vector<ReadEntry> reads;
+    bool reported = false;  // report each word at most once
+  };
+
+  static uint64_t Key(uint32_t as_id, uint32_t vpn, uint32_t word_offset) {
+    return (static_cast<uint64_t>(as_id) << 44) | (static_cast<uint64_t>(vpn) << 14) |
+           word_offset;
+  }
+  static size_t SlotFor(uint32_t fiber) { return fiber == mem::kNoFiber ? 0 : fiber + 1; }
+  VectorClock& ClockFor(size_t slot);
+  void Report(const mem::MemoryAccess& access, WordState& word, uint32_t prior_slot,
+              bool prior_is_write, sim::SimTime prior_time);
+
+  ZoneResolver zone_resolver_;
+  std::vector<VectorClock> clocks_;  // indexed by slot
+  // Keyed by packed (as, vpn, word); never iterated, so the hash order
+  // cannot leak into any output.
+  std::unordered_map<uint64_t, WordState> words_;
+  std::unordered_map<uint64_t, VectorClock> sync_clocks_;
+  std::unordered_set<uint64_t> intentional_;
+
+  std::vector<RaceReport> reports_;
+  uint64_t races_found_ = 0;
+  uint64_t accesses_checked_ = 0;
+  uint64_t sync_accesses_ = 0;
+  uint64_t annotated_accesses_ = 0;
+};
+
+}  // namespace platinum::check
+
+#endif  // SRC_CHECK_RACE_DETECTOR_H_

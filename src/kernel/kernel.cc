@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/base/check.h"
+#include "src/check/race_detector.h"
 #include "src/obs/scope.h"
 
 namespace platinum::kernel {
@@ -87,9 +88,19 @@ Thread* Kernel::SpawnThread(vm::AddressSpace* space, int processor, std::string 
         memory_->Activate(thread->address_space().id(), thread->processor_);
         body();
         memory_->Deactivate(thread->address_space().id(), thread->processor_);
+        if (race_detector_ != nullptr) {
+          race_detector_->OnThreadFinish(machine_->scheduler().current()->id());
+        }
       });
   thread->fiber_ = fiber;
   thread_by_fiber_[fiber] = thread;
+  if (race_detector_ != nullptr) {
+    // The spawner's clock reaches the child before it can run (Spawn only
+    // enqueues the fiber).
+    sim::Fiber* parent = machine_->scheduler().current();
+    race_detector_->OnThreadSpawn(parent != nullptr ? parent->id() : mem::kNoFiber,
+                                  fiber->id());
+  }
   return thread;
 }
 
@@ -106,6 +117,11 @@ void Kernel::JoinThread(Thread* thread) {
   PLAT_CHECK(thread != nullptr);
   PLAT_CHECK(thread->fiber_ != nullptr);
   machine_->scheduler().Join(thread->fiber_);
+  if (race_detector_ != nullptr) {
+    sim::Fiber* joiner = machine_->scheduler().current();
+    race_detector_->OnThreadJoin(joiner != nullptr ? joiner->id() : mem::kNoFiber,
+                                 thread->fiber_->id());
+  }
 }
 
 void Kernel::Run() { machine_->scheduler().Run(); }
@@ -231,6 +247,65 @@ std::vector<uint32_t> Kernel::Receive(Port* port) {
   sched.AdvanceTo(message.ready_at);
   machine_->Compute(machine_->params().port_fixed_ns);
   return std::move(message.words);
+}
+
+check::RaceDetector& Kernel::EnableRaceDetection() {
+  if (race_detector_ != nullptr) {
+    return *race_detector_;
+  }
+  race_detector_ = std::make_unique<check::RaceDetector>(
+      [this](uint32_t as_id, uint32_t vpn) -> std::string {
+        if (as_id < spaces_.size()) {
+          const vm::Binding* binding = spaces_[as_id]->FindBinding(vpn);
+          if (binding != nullptr) {
+            return binding->object->name();
+          }
+        }
+        return "?";
+      });
+  memory_->SetAccessObserver(race_detector_.get());
+  for (const WordRange& range : sync_word_ranges_) {
+    ForwardSyncWords(range);
+  }
+  for (const WordRange& range : intentional_ranges_) {
+    ForwardIntentionalSharing(range);
+  }
+  return *race_detector_;
+}
+
+void Kernel::ForwardSyncWords(const WordRange& range) {
+  for (uint32_t i = 0; i < range.count; ++i) {
+    VaParts parts = Split(range.va + i * 4);
+    race_detector_->RegisterSyncWord(range.as_id, parts.vpn, parts.word_offset);
+  }
+}
+
+void Kernel::ForwardIntentionalSharing(const WordRange& range) {
+  for (uint32_t i = 0; i < range.count; ++i) {
+    VaParts parts = Split(range.va + i * 4);
+    race_detector_->MarkIntentionalSharing(range.as_id, parts.vpn, parts.word_offset);
+  }
+}
+
+void Kernel::RegisterSyncWords(vm::AddressSpace* space, uint32_t va, uint32_t count) {
+  PLAT_CHECK(space != nullptr);
+  PLAT_CHECK_GT(count, 0u);
+  WordRange range{space->id(), va, count};
+  sync_word_ranges_.push_back(range);
+  if (race_detector_ != nullptr) {
+    ForwardSyncWords(range);
+  }
+}
+
+void Kernel::AnnotateIntentionalSharing(vm::AddressSpace* space, uint32_t va,
+                                        uint32_t bytes) {
+  PLAT_CHECK(space != nullptr);
+  PLAT_CHECK_GT(bytes, 0u);
+  WordRange range{space->id(), va, (bytes + 3) / 4};
+  intentional_ranges_.push_back(range);
+  if (race_detector_ != nullptr) {
+    ForwardIntentionalSharing(range);
+  }
 }
 
 vm::MemoryObject* Kernel::FindMemoryObject(const std::string& name) {

@@ -24,6 +24,10 @@
 #include "src/vm/address_space.h"
 #include "src/vm/memory_object.h"
 
+namespace platinum::check {
+class RaceDetector;
+}  // namespace platinum::check
+
 namespace platinum::kernel {
 
 struct KernelOptions {
@@ -98,6 +102,22 @@ class Kernel {
   void Send(Port* port, std::span<const uint32_t> message);
   std::vector<uint32_t> Receive(Port* port);
 
+  // --- Correctness checking (src/check) ---------------------------------------
+  // Creates and installs the simulated race detector (idempotent). Previously
+  // registered synchronization words and intentional-sharing annotations are
+  // replayed into it. Enable before spawning the threads to be checked.
+  check::RaceDetector& EnableRaceDetection();
+  // The installed detector, or nullptr when race detection is off.
+  check::RaceDetector* race_detector() { return race_detector_.get(); }
+  // Declares `count` words starting at `va` synchronization variables
+  // (acquire on read, release on write). rt::SpinLock, rt::EventCountArray
+  // and rt::Barrier register their words automatically; apps with hand-rolled
+  // spin flags must call this themselves.
+  void RegisterSyncWords(vm::AddressSpace* space, uint32_t va, uint32_t count);
+  // Excludes [va, va + bytes) from race checking: the program shares these
+  // words unsynchronized by design (e.g. chaotic relaxation).
+  void AnnotateIntentionalSharing(vm::AddressSpace* space, uint32_t va, uint32_t bytes);
+
   // --- Name space ------------------------------------------------------------------
   vm::MemoryObject* FindMemoryObject(const std::string& name);
   Port* FindPort(const std::string& name);
@@ -117,6 +137,16 @@ class Kernel {
                                  const std::function<uint32_t(uint32_t)>& update);
   void MigrateCurrentThread(Thread* thread, int new_processor);
 
+  // A registered word range, kept so ranges declared before the detector is
+  // enabled can be replayed into it.
+  struct WordRange {
+    uint32_t as_id;
+    uint32_t va;
+    uint32_t count;  // words
+  };
+  void ForwardSyncWords(const WordRange& range);
+  void ForwardIntentionalSharing(const WordRange& range);
+
   sim::Machine* machine_;
   std::unique_ptr<mem::CoherentMemory> memory_;
   const uint32_t default_as_pages_;
@@ -126,7 +156,13 @@ class Kernel {
   std::vector<std::unique_ptr<vm::AddressSpace>> spaces_;
   std::vector<std::unique_ptr<Thread>> threads_;
   std::vector<std::unique_ptr<Port>> ports_;
+  // Lookup-only (never iterated), so the hash order cannot affect the
+  // simulation. nondet-ok: keyed lookup, no iteration.
   std::unordered_map<const sim::Fiber*, Thread*> thread_by_fiber_;
+
+  std::vector<WordRange> sync_word_ranges_;
+  std::vector<WordRange> intentional_ranges_;
+  std::unique_ptr<check::RaceDetector> race_detector_;
 };
 
 }  // namespace platinum::kernel

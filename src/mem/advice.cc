@@ -103,6 +103,7 @@ void CoherentMemory::PinTo(uint32_t as_id, uint32_t vpn, int node) {
     ++page.stats().freezes;
     ++machine_->stats().freezes;
   }
+  NotifyTransition("pin");
 }
 
 void CoherentMemory::ReplicateTo(uint32_t as_id, uint32_t vpn, int node) {
@@ -135,6 +136,7 @@ void CoherentMemory::ReplicateTo(uint32_t as_id, uint32_t vpn, int node) {
   page.SetState(CpageState::kPresentPlus);
   ++page.stats().replications;
   ++machine_->stats().replications;
+  NotifyTransition("replicate");
 }
 
 }  // namespace platinum::mem

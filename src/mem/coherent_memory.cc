@@ -79,6 +79,7 @@ void CoherentMemory::UnbindPage(uint32_t as_id, uint32_t vpn) {
   }
   page.RemoveMapper(as_id, vpn);
   entry = CmapEntry{};
+  NotifyTransition("unbind");
 }
 
 void CoherentMemory::Activate(uint32_t as_id, int processor) {
@@ -156,6 +157,13 @@ CoherentMemory::AccessResult CoherentMemory::Access(uint32_t as_id, uint32_t vpn
     }
   }
 
+  if (access_observer_ != nullptr) {
+    const sim::Fiber* fiber = sched.current();
+    access_observer_->OnMemoryAccess(MemoryAccess{
+        as_id, vpn, word_offset, kind == sim::AccessKind::kWrite,
+        fiber != nullptr ? fiber->id() : kNoFiber, processor, sched.now()});
+  }
+
   // The reference itself.
   machine_->Reference(translation->module, kind);
   AccessResult result;
@@ -218,6 +226,13 @@ void CoherentMemory::CheckInvariants() const {
             PLAT_CHECK(Allows(entry.rights, pe.rights))
                 << "pmap rights exceed VM rights for vpn " << vpn;
             if (pe.rights == hw::Rights::kReadWrite) {
+              // Rights domination: a writable translation may exist only
+              // while the directory says the page is modified. Together with
+              // the directory's one-copy rule for modified pages this gives
+              // "a writable copy implies exactly one copy".
+              PLAT_CHECK(page.state() == CpageState::kModified)
+                  << "cpu " << p << " holds a write mapping of vpn " << vpn << " but cpage "
+                  << entry.cpage << " is not in the modified state";
               ++write_mappings[entry.cpage];
             }
             // The physical frame must still belong to this coherent page.

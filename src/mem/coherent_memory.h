@@ -19,11 +19,13 @@
 #define SRC_MEM_COHERENT_MEMORY_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "src/hw/processor.h"
+#include "src/mem/access_observer.h"
 #include "src/mem/cmap.h"
 #include "src/mem/cpage.h"
 #include "src/mem/policy.h"
@@ -121,6 +123,16 @@ class CoherentMemory {
   // The trace log, or nullptr when tracing is off.
   TraceLog* trace() { return trace_.get(); }
 
+  // --- Checking hooks (src/check) ----------------------------------------------
+  // Installs an observer notified of every charged word access, after fault
+  // resolution and before the reference is performed (race detection).
+  void SetAccessObserver(AccessObserver* observer) { access_observer_ = observer; }
+  // Installs a hook invoked after every completed protocol transition —
+  // fault resolution, thaw, pin, pre-replicate, unbind — with a short name
+  // for the transition (the invariant oracle). Pass nullptr to detach.
+  using TransitionHook = std::function<void(const char* transition)>;
+  void SetTransitionHook(TransitionHook hook) { transition_hook_ = std::move(hook); }
+
   // --- Introspection -------------------------------------------------------------
   uint32_t num_address_spaces() const { return static_cast<uint32_t>(cmaps_.size()); }
   // Cross-structure invariants: directory vs reference masks vs Pmaps vs ATCs.
@@ -170,6 +182,12 @@ class CoherentMemory {
   void Trace(TraceEventType type, const Cpage& page, int processor, uint32_t detail);
   // As Trace, for events not tied to a coherent page (defrost scans).
   void TraceGlobal(TraceEventType type, int processor, uint32_t detail);
+  // Invokes the transition hook, if any, at the end of a completed transition.
+  void NotifyTransition(const char* transition) {
+    if (transition_hook_) {
+      transition_hook_(transition);
+    }
+  }
   // Central fault-time choice: advice first, then the replication policy.
   bool DecideCache(Cpage& page, const FaultInfo& fault, sim::SimTime now);
   // Marks the page frozen if the policy (or its advice) wants declined pages
@@ -195,6 +213,8 @@ class CoherentMemory {
   std::vector<uint32_t> frozen_list_;
   bool defrost_daemon_started_ = false;
   std::unique_ptr<TraceLog> trace_;
+  AccessObserver* access_observer_ = nullptr;
+  TransitionHook transition_hook_;
 };
 
 }  // namespace platinum::mem

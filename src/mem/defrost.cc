@@ -110,6 +110,7 @@ void CoherentMemory::Thaw(uint32_t cpage_id) {
     page.SetState(CpageState::kPresent1);
   }
   Unfreeze(page);
+  NotifyTransition("thaw");
 }
 
 }  // namespace platinum::mem

@@ -8,11 +8,15 @@ namespace platinum::rt {
 SpinLock::SpinLock(ZoneAllocator& zone, const std::string& name)
     : kernel_(&zone.kernel()), space_(zone.space()) {
   va_ = zone.AllocWords(name, 1);
+  // The lock word synchronizes: test-and-set acquires, the release write
+  // publishes (src/check/race_detector.h).
+  kernel_->RegisterSyncWords(space_, va_, 1);
 }
 
 SpinLock::SpinLock(kernel::Kernel* kernel, vm::AddressSpace* space, uint32_t va)
     : kernel_(kernel), space_(space), va_(va) {
   PLAT_CHECK(kernel != nullptr);
+  kernel_->RegisterSyncWords(space_, va_, 1);
 }
 
 void SpinLock::Acquire() {
@@ -28,7 +32,11 @@ void SpinLock::Acquire() {
 void SpinLock::Release() { kernel_->WriteWord(space_, va_, 0); }
 
 EventCountArray::EventCountArray(ZoneAllocator& zone, const std::string& name, size_t count)
-    : counts_(SharedArray<uint32_t>::Create(zone, name, count)), kernel_(&zone.kernel()) {}
+    : counts_(SharedArray<uint32_t>::Create(zone, name, count)), kernel_(&zone.kernel()) {
+  // Advancing a count is a release, awaiting it an acquire.
+  kernel_->RegisterSyncWords(counts_.space(), counts_.base_va(),
+                             static_cast<uint32_t>(count));
+}
 
 void EventCountArray::Advance(size_t index) {
   kernel_->AtomicFetchAdd(counts_.space(), counts_.va(index), 1);
@@ -48,6 +56,9 @@ Barrier::Barrier(ZoneAllocator& zone, const std::string& name, uint32_t parties)
       state_(SharedArray<uint32_t>::Create(zone, name, 2)),
       parties_(parties) {
   PLAT_CHECK_GT(parties, 0u);
+  // The arrival counter collects every arriver's clock; the sense word
+  // redistributes the releaser's (which by then dominates them all).
+  kernel_->RegisterSyncWords(state_.space(), state_.base_va(), 2);
 }
 
 void Barrier::Wait() {

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Determinism regression: two identical platsim invocations must produce
+# byte-identical stdout and byte-identical stats JSON. Catches wall-clock
+# time, ambient randomness, hash-order iteration, or uninitialized reads
+# leaking into the simulation.
+set -euo pipefail
+
+PLATSIM="${1:?usage: determinism_check.sh <path-to-platsim>}"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+run() {
+  local tag="$1"
+  # Identical invocations: run from inside per-run directories so the JSON
+  # path (which platsim echoes to stdout) is the same relative name in both.
+  mkdir -p "$workdir/$tag"
+  (cd "$workdir/$tag" &&
+   "$PLATSIM" gauss --procs=4 --n=48 --check-invariants \
+       --stats-json=stats.json --report > stdout.txt)
+}
+
+run a
+run b
+
+if ! cmp -s "$workdir/a/stdout.txt" "$workdir/b/stdout.txt"; then
+  echo "determinism_check: stdout differs between identical runs" >&2
+  diff "$workdir/a/stdout.txt" "$workdir/b/stdout.txt" >&2 || true
+  exit 1
+fi
+if ! cmp -s "$workdir/a/stats.json" "$workdir/b/stats.json"; then
+  echo "determinism_check: stats JSON differs between identical runs" >&2
+  diff "$workdir/a/stats.json" "$workdir/b/stats.json" >&2 || true
+  exit 1
+fi
+echo "determinism_check: two runs byte-identical " \
+     "($(wc -c < "$workdir/a/stats.json") bytes of stats JSON)"
