@@ -226,10 +226,18 @@ void Kernel::Send(Port* port, std::span<const uint32_t> message) {
   Port::Message queued;
   queued.words.assign(message.begin(), message.end());
   queued.ready_at = machine_->scheduler().now();
+  // Queue and receiver list form one critical section; the wake-up happens
+  // outside it (Wake only enqueues, but keeping switch-capable calls out of
+  // critical sections is the discipline platlint enforces).
+  port->queue_lock_.Acquire();
   port->queue_.push_back(std::move(queued));
+  sim::Fiber* receiver = nullptr;
   if (!port->waiting_receivers_.empty()) {
-    sim::Fiber* receiver = port->waiting_receivers_.front();
+    receiver = port->waiting_receivers_.front();
     port->waiting_receivers_.pop_front();
+  }
+  port->queue_lock_.Release();
+  if (receiver != nullptr) {
     machine_->scheduler().Wake(receiver, machine_->scheduler().now());
   }
 }
@@ -238,15 +246,24 @@ std::vector<uint32_t> Kernel::Receive(Port* port) {
   PLAT_CHECK(port != nullptr);
   sim::Scheduler& sched = machine_->scheduler();
   PLAT_CHECK(sched.current() != nullptr) << "Receive must be called from a thread";
-  while (port->queue_.empty()) {
+  // The paper's kernel discipline: a receiver finding the queue empty
+  // registers itself and *releases the port lock before blocking* — blocking
+  // inside the critical section would deadlock the real machine (and, here,
+  // let another fiber observe a half-updated queue).
+  for (;;) {
+    port->queue_lock_.Acquire();
+    if (!port->queue_.empty()) {
+      Port::Message message = std::move(port->queue_.front());
+      port->queue_.pop_front();
+      port->queue_lock_.Release();
+      sched.AdvanceTo(message.ready_at);
+      machine_->Compute(machine_->params().port_fixed_ns);
+      return std::move(message.words);
+    }
     port->waiting_receivers_.push_back(sched.current());
+    port->queue_lock_.Release();
     sched.Block();
   }
-  Port::Message message = std::move(port->queue_.front());
-  port->queue_.pop_front();
-  sched.AdvanceTo(message.ready_at);
-  machine_->Compute(machine_->params().port_fixed_ns);
-  return std::move(message.words);
 }
 
 check::RaceDetector& Kernel::EnableRaceDetection() {

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "src/base/discipline_lock.h"
+#include "src/base/thread_annotations.h"
 #include "src/sim/fiber.h"
 #include "src/sim/time.h"
 
@@ -22,7 +24,12 @@ class Port {
  public:
   uint32_t id() const { return id_; }
   const std::string& name() const { return name_; }
-  size_t queued() const { return queue_.size(); }
+  size_t queued() const {
+    queue_lock_.Acquire();
+    size_t n = queue_.size();
+    queue_lock_.Release();
+    return n;
+  }
 
  private:
   friend class Kernel;
@@ -37,8 +44,12 @@ class Port {
 
   const uint32_t id_;
   const std::string name_;
-  std::deque<Message> queue_;
-  std::deque<sim::Fiber*> waiting_receivers_;
+  // The port lock of the real kernel: message queue and receiver list form
+  // one critical section, and a receiver must leave it before blocking
+  // (Kernel::Receive). Zero-cost under fiber serialization.
+  base::DisciplineLock queue_lock_;
+  std::deque<Message> queue_ GUARDED_BY(queue_lock_);
+  std::deque<sim::Fiber*> waiting_receivers_ GUARDED_BY(queue_lock_);
 };
 
 }  // namespace platinum::kernel

@@ -99,7 +99,9 @@ void CoherentMemory::PinTo(uint32_t as_id, uint32_t vpn, int node) {
   if (!page.frozen()) {
     page.SetFrozen(true);
     page.SetFreezeTime(machine_->scheduler().now());
+    frozen_lock_.Acquire();
     frozen_list_.push_back(page.id());
+    frozen_lock_.Release();
     ++page.stats().freezes;
     ++machine_->stats().freezes;
   }

@@ -262,11 +262,13 @@ void CoherentMemory::CheckInvariants() const {
 
   // Frozen list matches frozen flags.
   std::vector<bool> in_list(cpages_.size(), false);
+  frozen_lock_.Acquire();
   for (uint32_t id : frozen_list_) {
     PLAT_CHECK(cpages_.at(id).frozen());
     PLAT_CHECK(!in_list[id]) << "cpage " << id << " twice in frozen list";
     in_list[id] = true;
   }
+  frozen_lock_.Release();
   for (uint32_t id = 0; id < cpages_.size(); ++id) {
     if (cpages_.at(id).frozen()) {
       PLAT_CHECK(in_list[id]) << "frozen cpage " << id << " missing from defrost list";

@@ -24,6 +24,8 @@
 #include <optional>
 #include <vector>
 
+#include "src/base/discipline_lock.h"
+#include "src/base/thread_annotations.h"
 #include "src/hw/processor.h"
 #include "src/mem/access_observer.h"
 #include "src/mem/cmap.h"
@@ -84,12 +86,16 @@ class CoherentMemory {
   // scheduler preempt after the access; read-modify-write sequences pass
   // false for all but the last access.
   AccessResult Access(uint32_t as_id, uint32_t vpn, uint32_t word_offset, sim::AccessKind kind,
-                      uint32_t write_value = 0, bool allow_yield = true);
+                      uint32_t write_value = 0, bool allow_yield = true) PLATINUM_MAY_YIELD;
 
   // The coherent page fault handler (public so microbenchmarks can measure a
   // single transition). On success the current processor holds a translation
-  // permitting `kind`.
-  AccessOutcome HandleFault(uint32_t as_id, uint32_t vpn, sim::AccessKind kind);
+  // permitting `kind`. A fault resolves synchronously on the faulting fiber:
+  // waiting is modeled in virtual time (AdvanceTo), never by a fiber switch,
+  // so the handler's updates to Cpage/Pmap/module state are atomic — the
+  // paper's handler critical section. Enforced by tools/platlint.
+  AccessOutcome HandleFault(uint32_t as_id, uint32_t vpn, sim::AccessKind kind)
+      PLATINUM_NO_YIELD;
 
   // --- Non-transparent hooks (Section 9) -----------------------------------------
   // Attaches placement advice to `npages` coherent pages starting at `vpn`;
@@ -115,7 +121,12 @@ class CoherentMemory {
   // Thaws every page frozen at least `min_age` ago (adaptive-defrost pass).
   // Returns pages thawed.
   size_t ThawExpired(sim::SimTime min_age);
-  size_t frozen_count() const { return frozen_list_.size(); }
+  size_t frozen_count() const {
+    frozen_lock_.Acquire();
+    size_t n = frozen_list_.size();
+    frozen_lock_.Release();
+    return n;
+  }
 
   // --- Instrumentation (Sections 1.1, 9) -------------------------------------------
   // Starts recording protocol events into a bounded ring buffer.
@@ -210,7 +221,12 @@ class CoherentMemory {
   std::vector<hw::ProcessorMmu> mmus_;
   CpageTable cpages_;
   std::vector<std::unique_ptr<Cmap>> cmaps_;
-  std::vector<uint32_t> frozen_list_;
+  // Kernel lock for the defrost list: faults freeze pages while the defrost
+  // daemon scans and thaws, and both sides' list updates are critical
+  // sections (zero-cost under fiber serialization; see
+  // src/base/discipline_lock.h).
+  base::DisciplineLock frozen_lock_;
+  std::vector<uint32_t> frozen_list_ GUARDED_BY(frozen_lock_);
   bool defrost_daemon_started_ = false;
   std::unique_ptr<TraceLog> trace_;
   AccessObserver* access_observer_ = nullptr;

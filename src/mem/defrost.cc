@@ -29,10 +29,14 @@ void CoherentMemory::StartDefrostDaemon() {
           for (;;) {
             sim::SimTime now = sched.now();
             sim::SimTime wake = now + t2;
+            // The deadline scan is a critical section; the sleep that follows
+            // must happen outside it (release-before-block discipline).
+            frozen_lock_.Acquire();
             for (uint32_t id : frozen_list_) {
               sim::SimTime deadline = cpages_.at(id).freeze_time() + t2;
               wake = std::min(wake, std::max(deadline, now + sim::kMillisecond));
             }
+            frozen_lock_.Release();
             sched.Sleep(wake - now);
             size_t thawed = ThawExpired(t2);
             TraceGlobal(TraceEventType::kDefrostScan, machine_->params().defrost_processor,
@@ -58,12 +62,14 @@ void CoherentMemory::StartDefrostDaemon() {
 size_t CoherentMemory::ThawExpired(sim::SimTime min_age) {
   sim::SimTime now = machine_->scheduler().now();
   std::vector<uint32_t> expired;
+  frozen_lock_.Acquire();
   for (uint32_t id : frozen_list_) {
     const Cpage& page = cpages_.at(id);
     if (now >= page.freeze_time() && now - page.freeze_time() >= min_age) {
       expired.push_back(id);
     }
   }
+  frozen_lock_.Release();
   for (uint32_t id : expired) {
     Thaw(id);
   }
@@ -73,8 +79,10 @@ size_t CoherentMemory::ThawExpired(sim::SimTime min_age) {
 size_t CoherentMemory::ThawAllFrozen() {
   // Thaw the current batch; pages refrozen by faults racing this pass go on a
   // fresh list for the next period.
+  frozen_lock_.Acquire();
   std::vector<uint32_t> batch = std::move(frozen_list_);
   frozen_list_.clear();
+  frozen_lock_.Release();
   size_t thawed = 0;
   for (uint32_t id : batch) {
     Cpage& page = cpages_.at(id);
@@ -82,7 +90,9 @@ size_t CoherentMemory::ThawAllFrozen() {
       continue;  // thawed by an access since it was listed
     }
     // Unfreeze expects the page on the list; temporarily restore it.
+    frozen_lock_.Acquire();
     frozen_list_.push_back(id);
+    frozen_lock_.Release();
     Thaw(id);
     ++thawed;
   }

@@ -412,7 +412,9 @@ void CoherentMemory::MaybeFreeze(Cpage& page) {
   }
   page.SetFrozen(true);
   page.SetFreezeTime(machine_->scheduler().now());
+  frozen_lock_.Acquire();
   frozen_list_.push_back(page.id());
+  frozen_lock_.Release();
   ++page.stats().freezes;
   ++machine_->stats().freezes;
   int processor = machine_->scheduler().current() != nullptr
@@ -424,9 +426,11 @@ void CoherentMemory::MaybeFreeze(Cpage& page) {
 void CoherentMemory::Unfreeze(Cpage& page) {
   PLAT_CHECK(page.frozen());
   page.SetFrozen(false);
+  frozen_lock_.Acquire();
   auto it = std::find(frozen_list_.begin(), frozen_list_.end(), page.id());
   PLAT_CHECK(it != frozen_list_.end());
   frozen_list_.erase(it);
+  frozen_lock_.Release();
   ++page.stats().thaws;
   ++machine_->stats().thaws;
   int processor = machine_->scheduler().current() != nullptr

@@ -45,9 +45,11 @@ class SharedArray {
   vm::AddressSpace* space() const { return space_; }
 
   T Get(size_t index) const {
+    PLAT_DCHECK(valid()) << "Get on a default-constructed rt::SharedArray";
     return std::bit_cast<T>(kernel_->ReadWord(space_, va(index)));
   }
   void Set(size_t index, T value) {
+    PLAT_DCHECK(valid()) << "Set on a default-constructed rt::SharedArray";
     kernel_->WriteWord(space_, va(index), std::bit_cast<uint32_t>(value));
   }
 

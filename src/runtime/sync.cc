@@ -20,6 +20,9 @@ SpinLock::SpinLock(kernel::Kernel* kernel, vm::AddressSpace* space, uint32_t va)
 }
 
 void SpinLock::Acquire() {
+  PLAT_CHECK(kernel_ != nullptr)
+      << "Acquire on a default-constructed rt::SpinLock; build it from a "
+         "ZoneAllocator (or an existing word) before use";
   SpinBackoff backoff;
   for (;;) {
     if (kernel_->AtomicTestAndSet(space_, va_) == 0) {
@@ -29,7 +32,12 @@ void SpinLock::Acquire() {
   }
 }
 
-void SpinLock::Release() { kernel_->WriteWord(space_, va_, 0); }
+void SpinLock::Release() {
+  PLAT_CHECK(kernel_ != nullptr)
+      << "Release on a default-constructed rt::SpinLock; build it from a "
+         "ZoneAllocator (or an existing word) before use";
+  kernel_->WriteWord(space_, va_, 0);
+}
 
 EventCountArray::EventCountArray(ZoneAllocator& zone, const std::string& name, size_t count)
     : counts_(SharedArray<uint32_t>::Create(zone, name, count)), kernel_(&zone.kernel()) {
@@ -39,12 +47,23 @@ EventCountArray::EventCountArray(ZoneAllocator& zone, const std::string& name, s
 }
 
 void EventCountArray::Advance(size_t index) {
+  PLAT_CHECK(kernel_ != nullptr)
+      << "Advance on a default-constructed rt::EventCountArray; build it from "
+         "a ZoneAllocator before use";
   kernel_->AtomicFetchAdd(counts_.space(), counts_.va(index), 1);
 }
 
-uint32_t EventCountArray::Read(size_t index) const { return counts_.Get(index); }
+uint32_t EventCountArray::Read(size_t index) const {
+  PLAT_CHECK(kernel_ != nullptr)
+      << "Read on a default-constructed rt::EventCountArray; build it from a "
+         "ZoneAllocator before use";
+  return counts_.Get(index);
+}
 
 void EventCountArray::AwaitAtLeast(size_t index, uint32_t value) const {
+  PLAT_CHECK(kernel_ != nullptr)
+      << "AwaitAtLeast on a default-constructed rt::EventCountArray; build it "
+         "from a ZoneAllocator before use";
   SpinBackoff backoff;
   while (counts_.Get(index) < value) {
     kernel_->machine().scheduler().Sleep(backoff.Next());
@@ -62,6 +81,9 @@ Barrier::Barrier(ZoneAllocator& zone, const std::string& name, uint32_t parties)
 }
 
 void Barrier::Wait() {
+  PLAT_CHECK(kernel_ != nullptr)
+      << "Wait on a default-constructed rt::Barrier; build it from a "
+         "ZoneAllocator before use";
   kernel::Thread* thread = kernel_->CurrentThread();
   PLAT_CHECK(thread != nullptr) << "Barrier::Wait outside a thread";
   uint32_t& sense = local_sense_[thread->id()];

@@ -14,6 +14,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/base/thread_annotations.h"
 #include "src/runtime/shared_array.h"
 #include "src/runtime/zone_allocator.h"
 
@@ -32,16 +33,26 @@ struct SpinBackoff {
 };
 
 // Test-and-set spin lock in a private page.
-class SpinLock {
+//
+// A *simulated* lock: the lock word lives in coherent memory, acquiring it
+// issues real test-and-set references (charged simulated time), and a thread
+// holding it may be preempted at a quantum boundary exactly as on the real
+// machine. The capability annotations give clang's -Wthread-safety analysis
+// acquire/release balance checking; critical sections under a SpinLock are
+// *not* no-yield regions (src/base/thread_annotations.h explains the
+// asymmetry with base::DisciplineLock).
+class CAPABILITY("simulated spin lock") SpinLock {
  public:
+  // Default-constructed locks are placeholders (e.g. members initialized
+  // later); using one before assignment aborts with a clear message.
   SpinLock() = default;
   SpinLock(ZoneAllocator& zone, const std::string& name);
   // Builds a lock on an existing word (for deliberately co-located layouts,
   // e.g. the defrost ablation).
   SpinLock(kernel::Kernel* kernel, vm::AddressSpace* space, uint32_t va);
 
-  void Acquire();
-  void Release();
+  void Acquire() ACQUIRE() PLATINUM_MAY_YIELD;  // spins with backoff sleeps
+  void Release() RELEASE();
   uint32_t va() const { return va_; }
 
  private:

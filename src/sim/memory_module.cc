@@ -27,6 +27,13 @@ uint32_t MemoryModule::Hash(uint32_t cpage_index) const {
 
 std::optional<MemoryModule::ProbeResult> MemoryModule::AllocFrame(uint32_t cpage_index) {
   PLAT_CHECK_NE(cpage_index, kInvalidCpage);
+  table_lock_.Acquire();
+  std::optional<ProbeResult> result = AllocFrameLocked(cpage_index);
+  table_lock_.Release();
+  return result;
+}
+
+std::optional<MemoryModule::ProbeResult> MemoryModule::AllocFrameLocked(uint32_t cpage_index) {
   if (free_frames_ == 0) {
     return std::nullopt;
   }
@@ -46,13 +53,23 @@ std::optional<MemoryModule::ProbeResult> MemoryModule::AllocFrame(uint32_t cpage
 
 void MemoryModule::FreeFrame(uint32_t frame) {
   PLAT_CHECK_LT(frame, num_frames_);
+  table_lock_.Acquire();
   PLAT_CHECK(slot_state_[frame] == SlotState::kUsed) << "freeing unallocated frame " << frame;
   slot_state_[frame] = SlotState::kTombstone;
   slot_cpage_[frame] = kInvalidCpage;
   ++free_frames_;
+  table_lock_.Release();
 }
 
 std::optional<MemoryModule::ProbeResult> MemoryModule::FindFrame(uint32_t cpage_index) const {
+  table_lock_.Acquire();
+  std::optional<ProbeResult> result = FindFrameLocked(cpage_index);
+  table_lock_.Release();
+  return result;
+}
+
+std::optional<MemoryModule::ProbeResult> MemoryModule::FindFrameLocked(
+    uint32_t cpage_index) const {
   uint32_t slot = Hash(cpage_index);
   for (uint32_t probes = 1; probes <= num_frames_; ++probes) {
     switch (slot_state_[slot]) {
@@ -73,7 +90,10 @@ std::optional<MemoryModule::ProbeResult> MemoryModule::FindFrame(uint32_t cpage_
 
 uint32_t MemoryModule::FrameOwner(uint32_t frame) const {
   PLAT_CHECK_LT(frame, num_frames_);
-  return slot_state_[frame] == SlotState::kUsed ? slot_cpage_[frame] : kInvalidCpage;
+  table_lock_.Acquire();
+  uint32_t owner = slot_state_[frame] == SlotState::kUsed ? slot_cpage_[frame] : kInvalidCpage;
+  table_lock_.Release();
+  return owner;
 }
 
 uint8_t* MemoryModule::FrameData(uint32_t frame) {

@@ -13,6 +13,8 @@
 #include <optional>
 #include <vector>
 
+#include "src/base/discipline_lock.h"
+#include "src/base/thread_annotations.h"
 #include "src/sim/params.h"
 #include "src/sim/time.h"
 
@@ -33,7 +35,12 @@ class MemoryModule {
 
   int node() const { return node_; }
   uint32_t num_frames() const { return num_frames_; }
-  uint32_t free_frames() const { return free_frames_; }
+  uint32_t free_frames() const {
+    table_lock_.Acquire();
+    uint32_t n = free_frames_;
+    table_lock_.Release();
+    return n;
+  }
 
   // Allocates a frame for `cpage_index`, placing it near hash(cpage_index) in
   // the inverted page table. Returns nullopt when the module is full.
@@ -58,14 +65,23 @@ class MemoryModule {
   enum class SlotState : uint8_t { kFree, kUsed, kTombstone };
 
   uint32_t Hash(uint32_t cpage_index) const;
+  std::optional<ProbeResult> AllocFrameLocked(uint32_t cpage_index) REQUIRES(table_lock_);
+  std::optional<ProbeResult> FindFrameLocked(uint32_t cpage_index) const
+      REQUIRES(table_lock_);
 
   const int node_;
   const uint32_t num_frames_;
   const uint32_t page_size_;
-  std::vector<SlotState> slot_state_;
-  std::vector<uint32_t> slot_cpage_;
+  // The per-module lock of Section 3.3: the fault handler manipulates the
+  // inverted page table and free-frame count only inside it, and must not
+  // reach a scheduler switch point while holding it (the handler performs
+  // strictly local references in this section). Zero-cost under fiber
+  // serialization; enforced by clang -Wthread-safety and platlint.
+  base::DisciplineLock table_lock_;
+  std::vector<SlotState> slot_state_ GUARDED_BY(table_lock_);
+  std::vector<uint32_t> slot_cpage_ GUARDED_BY(table_lock_);
   std::vector<uint8_t> data_;
-  uint32_t free_frames_;
+  uint32_t free_frames_ GUARDED_BY(table_lock_);
 };
 
 }  // namespace platinum::sim

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/thread_annotations.h"
 #include "src/sim/fiber.h"
 #include "src/sim/time.h"
 
@@ -32,12 +33,14 @@ class Scheduler {
 
   // Creates a fiber bound to `processor`. Daemon fibers do not keep Run()
   // alive. May be called from inside or outside a fiber; a fiber spawned from
-  // another starts no earlier than its spawner's current clock.
-  Fiber* Spawn(int processor, std::string name, std::function<void()> body, bool daemon = false);
+  // another starts no earlier than its spawner's current clock. Only enqueues
+  // the new fiber; the spawner keeps running.
+  Fiber* Spawn(int processor, std::string name, std::function<void()> body, bool daemon = false)
+      PLATINUM_NO_YIELD;
 
   // Runs until every non-daemon fiber has finished. Aborts on deadlock
   // (non-daemon fibers alive but nothing runnable).
-  void Run();
+  void Run() PLATINUM_MAY_YIELD;
 
   // --- Introspection ---------------------------------------------------------
   Fiber* current() const { return current_; }
@@ -50,35 +53,41 @@ class Scheduler {
   uint64_t context_switches() const { return switches_; }
 
   // --- Time accounting (current fiber) --------------------------------------
-  // Charges `duration` of computation/latency to the current fiber.
-  void Advance(SimTime duration);
+  // Charges `duration` of computation/latency to the current fiber. Never a
+  // switch point: clock advances are atomic with respect to other fibers.
+  void Advance(SimTime duration) PLATINUM_NO_YIELD;
   // Moves the current fiber's clock forward to at least `t` (waiting on an
   // external resource). No-op if already past `t`.
-  void AdvanceTo(SimTime t);
+  void AdvanceTo(SimTime t) PLATINUM_NO_YIELD;
 
   // --- Cooperative scheduling ------------------------------------------------
+  // Every switch point of the simulation is one of the PLATINUM_MAY_YIELD
+  // functions below; tools/platlint proves none is reachable from a kernel
+  // critical section (docs/STATIC_ANALYSIS.md).
+  //
   // Yields if the current fiber has exceeded its quantum. Returns true if a
   // switch happened.
-  bool MaybeYield();
-  void Yield();
+  bool MaybeYield() PLATINUM_MAY_YIELD;
+  void Yield() PLATINUM_MAY_YIELD;
   // Advances the clock by `duration` without occupying the processor, letting
   // other fibers bound to the same processor run meanwhile.
-  void Sleep(SimTime duration);
+  void Sleep(SimTime duration) PLATINUM_MAY_YIELD;
   // Parks the current fiber until another fiber calls Wake on it.
-  void Block();
+  void Block() PLATINUM_MAY_YIELD;
   // Makes `fiber` runnable again, no earlier than virtual time `not_before`.
-  void Wake(Fiber* fiber, SimTime not_before);
+  // Only enqueues; the caller keeps the processor.
+  void Wake(Fiber* fiber, SimTime not_before) PLATINUM_NO_YIELD;
   // Blocks the current fiber until `fiber` finishes. Returns immediately if it
   // already has; the caller's clock is advanced to at least the finish time.
-  void Join(Fiber* fiber);
+  void Join(Fiber* fiber) PLATINUM_MAY_YIELD;
   // Rebinds the current fiber to another processor (thread migration). The
   // fiber waits for the target processor to become available.
-  void MigrateCurrent(int new_processor);
+  void MigrateCurrent(int new_processor) PLATINUM_MAY_YIELD;
 
   // --- Interrupt modeling -----------------------------------------------------
   // Charges `cost` to whichever fiber next occupies `processor` (the
   // interrupted node spends this time in its IPI handler).
-  void AddInterruptCost(int processor, SimTime cost);
+  void AddInterruptCost(int processor, SimTime cost) PLATINUM_NO_YIELD;
 
  private:
   struct ReadyEntry {
@@ -93,11 +102,11 @@ class Scheduler {
     }
   };
 
-  void MakeReady(Fiber* fiber);
+  void MakeReady(Fiber* fiber) PLATINUM_NO_YIELD;
   // Suspends the current fiber (which must already have updated its state) and
   // returns to the dispatch loop. `release_processor_at` is when the fiber
-  // stops occupying its processor.
-  void SwitchOut(SimTime release_processor_at);
+  // stops occupying its processor. The primitive switch point.
+  void SwitchOut(SimTime release_processor_at) PLATINUM_MAY_YIELD;
   static void Trampoline();
   void RunFiberBody();
   void FinishCurrent();

@@ -156,5 +156,29 @@ TEST(RunOnProcessorsTest, NestsInsideAThread) {
   });
 }
 
+// Default-constructed synchronization objects are placeholders (members
+// assigned later); using one before assignment must abort with a message
+// naming the mistake, not segfault on the null kernel pointer.
+TEST(SyncDeathTest, DefaultConstructedSpinLockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        rt::SpinLock lock;
+        lock.Acquire();
+        lock.Release();  // unreachable; balances clang's capability analysis
+      },
+      "default-constructed rt::SpinLock");
+}
+
+TEST(SyncDeathTest, DefaultConstructedEventCountArrayAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        rt::EventCountArray counts;
+        counts.Advance(0);
+      },
+      "default-constructed rt::EventCountArray");
+}
+
 }  // namespace
 }  // namespace platinum

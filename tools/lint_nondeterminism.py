@@ -1,87 +1,29 @@
 #!/usr/bin/env python3
-"""Bans nondeterminism hazards from the simulation core.
+"""Compatibility shim: the nondeterminism lint now lives in tools/platlint.
 
-The PLATINUM simulator's contract is that identical invocations produce
-byte-identical output (virtual time, not wall-clock time; seeded hashing, not
-ambient randomness; ordered containers wherever iteration order can reach the
-output). This lint enforces that contract statically over the directories
-that implement the simulation:
-
-  * wall-clock time:   std::chrono, time(), clock(), gettimeofday
-  * ambient randomness: rand(), srand(), std::random_device
-  * hash-ordered iteration: std::unordered_map / std::unordered_set
-
-Unordered containers are fine when they are only ever used for keyed lookup;
-such uses are allowlisted with a `nondet-ok:` comment on the same line or one
-of the two preceding lines, stating why the use cannot leak into output.
-
-Usage: lint_nondeterminism.py <repo-root>
-Exits nonzero listing every unsuppressed hit.
+Runs platlint's three nondeterminism rules (wall-clock, randomness,
+unordered-container) over the simulation core, preserving the historical
+CLI (`lint_nondeterminism.py <repo-root>`) and the `nondet-ok:` suppression
+comments. New code should invoke tools/platlint/platlint.py directly; see
+docs/STATIC_ANALYSIS.md.
 """
 
 import os
-import re
 import sys
 
-# Directories holding the deterministic simulation core.
-SCAN_DIRS = ["src/sim", "src/mem", "src/kernel", "src/apps"]
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "platlint"))
 
-PATTERNS = [
-    (re.compile(r"std::chrono|#include\s*<chrono>"), "wall-clock time (std::chrono)"),
-    (re.compile(r"\bgettimeofday\s*\("), "wall-clock time (gettimeofday)"),
-    (re.compile(r"\b(?:std::)?time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
-     "wall-clock time (time())"),
-    (re.compile(r"\bsrand\s*\(|(?<![\w:])rand\s*\(\s*\)"),
-     "unseeded randomness (rand/srand)"),
-    (re.compile(r"std::random_device"), "ambient randomness (std::random_device)"),
-    (re.compile(r"std::unordered_(?:map|set)\b"),
-     "hash-ordered container (iteration order leaks)"),
-]
-
-SUPPRESS = re.compile(r"nondet-ok:")
-
-
-def lint_file(path):
-    hits = []
-    with open(path, encoding="utf-8") as f:
-        lines = f.read().splitlines()
-    for i, line in enumerate(lines):
-        for pattern, why in PATTERNS:
-            if not pattern.search(line):
-                continue
-            window = lines[max(0, i - 2) : i + 1]
-            if any(SUPPRESS.search(w) for w in window):
-                continue
-            hits.append((i + 1, why, line.strip()))
-    return hits
+import platlint  # noqa: E402
 
 
 def main():
     if len(sys.argv) != 2:
         print(f"usage: {sys.argv[0]} <repo-root>", file=sys.stderr)
         return 2
-    root = sys.argv[1]
-    failures = 0
-    scanned = 0
-    for rel in SCAN_DIRS:
-        base = os.path.join(root, rel)
-        for dirpath, _, filenames in os.walk(base):
-            for name in sorted(filenames):
-                if not name.endswith((".h", ".cc", ".cpp")):
-                    continue
-                path = os.path.join(dirpath, name)
-                scanned += 1
-                for line_no, why, text in lint_file(path):
-                    rel_path = os.path.relpath(path, root)
-                    print(f"{rel_path}:{line_no}: {why}\n    {text}")
-                    failures += 1
-    if failures:
-        print(f"\nlint_nondeterminism: {failures} hit(s) in {scanned} files; "
-              "fix or annotate with a `nondet-ok:` comment explaining why "
-              "the use cannot affect simulation output.")
-        return 1
-    print(f"lint_nondeterminism: {scanned} files clean")
-    return 0
+    return platlint.main(["--root", sys.argv[1],
+                          "--rule", "wall-clock",
+                          "--rule", "randomness",
+                          "--rule", "unordered-container"])
 
 
 if __name__ == "__main__":

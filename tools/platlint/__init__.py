@@ -1,0 +1,2 @@
+# tools/platlint: static analysis for the PLATINUM simulator.
+# Entry point: platlint.py (see docs/STATIC_ANALYSIS.md).

@@ -1,0 +1,175 @@
+"""Optional clang AST frontend for the blocking-discipline check.
+
+When clang++ is installed and the build exported `compile_commands.json`
+(the top-level CMakeLists always does), this frontend re-derives the
+may-yield call graph from `clang++ -Xclang -ast-dump=json` instead of the
+textual model in cpp_model.py: function identities, callees and annotations
+come from the real AST (`__attribute__((annotate("platinum::may_yield")))`
+survives into AnnotateAttr nodes), so name-collision and receiver-inference
+approximations disappear.
+
+Opt in with `platlint.py --frontend clang`. The textual frontend stays the
+default because it works on a bare gcc toolchain and in CI's lint job; this
+one exists to cross-check it wherever clang is available. Any failure here
+(no clang, no compile database, AST schema drift) degrades to a clear error,
+never a silent pass.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shlex
+import shutil
+import subprocess
+
+MAY_YIELD = "platinum::may_yield"
+NO_YIELD = "platinum::no_yield"
+
+
+class ClangUnavailable(RuntimeError):
+    pass
+
+
+def _find_clang() -> str:
+    for name in ("clang++", "clang++-18", "clang++-17", "clang++-16", "clang++-15"):
+        path = shutil.which(name)
+        if path:
+            return path
+    raise ClangUnavailable("no clang++ on PATH; use the default text frontend")
+
+
+def _load_compile_db(root: str) -> list[dict]:
+    for rel in ("compile_commands.json", "build/compile_commands.json"):
+        path = os.path.join(root, rel)
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as f:
+                return json.load(f)
+    raise ClangUnavailable("no compile_commands.json; configure with CMake first")
+
+
+def _ast_for(clang: str, entry: dict) -> dict:
+    if "arguments" in entry:
+        args = list(entry["arguments"])
+    else:
+        args = shlex.split(entry["command"])
+    # Keep the include paths/defines, replace compiler and output handling.
+    out = [clang, "-fsyntax-only", "-Wno-everything", "-Xclang", "-ast-dump=json"]
+    skip = 0
+    for a in args[1:]:
+        if skip:
+            skip -= 1
+            continue
+        if a in ("-o", "-MF", "-MT", "-MQ"):
+            skip = 1
+            continue
+        if a in ("-c", "-MD", "-MMD", "-MP") or a.startswith("-o"):
+            continue
+        out.append(a)
+    proc = subprocess.run(out, cwd=entry.get("directory", "."),
+                          capture_output=True, text=True, check=False)
+    if proc.returncode != 0 or not proc.stdout:
+        raise ClangUnavailable(
+            f"clang AST dump failed for {entry.get('file')}: {proc.stderr[:500]}")
+    return json.loads(proc.stdout)
+
+
+def _annotations_of(node: dict) -> set[str]:
+    out = set()
+    for child in node.get("inner", []):
+        if child.get("kind") == "AnnotateAttr":
+            # The annotation string is a StringLiteral grandchild.
+            stack = [child]
+            while stack:
+                n = stack.pop()
+                if n.get("kind") == "StringLiteral":
+                    out.add(n.get("value", "").strip('"'))
+                stack.extend(n.get("inner", []))
+    return out
+
+
+def _qualified_name(node: dict, class_stack: list[str]) -> str:
+    name = node.get("name", "")
+    if node.get("kind") == "CXXMethodDecl" or class_stack:
+        if class_stack:
+            return f"{class_stack[-1]}::{name}"
+    return name
+
+
+def build_graph(root: str):
+    """Returns (calls: qualified -> set[qualified], annotations, decl_locs)."""
+    clang = _find_clang()
+    db = _load_compile_db(root)
+    calls: dict[str, set[str]] = {}
+    annotations: dict[str, str] = {}
+    locs: dict[str, tuple[str, int]] = {}
+
+    def walk(node, class_stack, current_fn):
+        kind = node.get("kind")
+        if kind in ("CXXRecordDecl", "ClassTemplateDecl") and node.get("name"):
+            class_stack = class_stack + [node["name"]]
+        if kind in ("FunctionDecl", "CXXMethodDecl", "CXXConstructorDecl",
+                    "CXXDestructorDecl") and node.get("name"):
+            qual = _qualified_name(node, class_stack)
+            anns = _annotations_of(node)
+            if MAY_YIELD in anns:
+                annotations.setdefault(qual, "may_yield")
+            if NO_YIELD in anns:
+                annotations.setdefault(qual, "no_yield")
+            loc = node.get("loc", {})
+            if "file" in loc:
+                locs.setdefault(qual, (loc["file"], loc.get("line", 0)))
+            if any(c.get("kind") == "CompoundStmt" for c in node.get("inner", [])):
+                current_fn = qual
+                calls.setdefault(qual, set())
+        if kind in ("DeclRefExpr", "MemberExpr") and current_fn is not None:
+            ref = node.get("referencedDecl") or {}
+            if ref.get("kind") in ("FunctionDecl", "CXXMethodDecl"):
+                # Parent class is not in referencedDecl; match by name and let
+                # the checker treat same-name functions as one node (clang
+                # already resolved the overload, so collisions only merge
+                # methods of identical names -- strictly conservative).
+                calls[current_fn].add(ref.get("name", ""))
+        for child in node.get("inner", []):
+            walk(child, class_stack, current_fn)
+
+    for entry in db:
+        path = entry.get("file", "")
+        if "/src/" not in path or not path.endswith((".cc", ".cpp")):
+            continue
+        walk(_ast_for(clang, entry), [], None)
+    return calls, annotations, locs
+
+
+def check_no_yield(root: str):
+    """Findings (as dicts) for PLATINUM_NO_YIELD functions reaching a switch
+    point, per the clang AST call graph."""
+    calls, annotations, locs = build_graph(root)
+    may_yield_simple = {q.split("::")[-1] for q, a in annotations.items()
+                        if a == "may_yield"}
+    # Propagate over simple names (see build_graph: callee edges are simple).
+    changed = True
+    yielding = set(may_yield_simple)
+    while changed:
+        changed = False
+        for qual, callees in calls.items():
+            simple = qual.split("::")[-1]
+            if simple in yielding:
+                continue
+            if callees & yielding:
+                yielding.add(simple)
+                changed = True
+    findings = []
+    for qual, ann in annotations.items():
+        if ann != "no_yield":
+            continue
+        reach = calls.get(qual, set()) & yielding
+        if qual.split("::")[-1] in may_yield_simple:
+            continue
+        if reach:
+            path, line = locs.get(qual, ("<unknown>", 0))
+            findings.append({
+                "rule": "no-yield", "path": path, "line": line,
+                "message": f"{qual} is declared PLATINUM_NO_YIELD but calls "
+                           f"{sorted(reach)} (clang AST frontend)"})
+    return findings

@@ -1,0 +1,611 @@
+"""Textual C++ source model for platlint.
+
+Builds a lightweight whole-repo model of the C++ tree good enough to check
+the PLATINUM kernel disciplines without a real compiler frontend:
+
+  * function definitions (qualified name, body span, body text);
+  * function/method declarations with their `PLATINUM_MAY_YIELD` /
+    `PLATINUM_NO_YIELD` annotations and return types;
+  * class member fields with their (base) types;
+  * call sites inside each body, with best-effort receiver type inference
+    (locals, parameters, member fields, chained accessor return types);
+  * `#include "src/..."` edges for the layering rule.
+
+The model is deliberately conservative in a specific direction: when a
+receiver type cannot be inferred, a call resolves to *every* known function
+of that simple name (may report too much, never too little); when a called
+name is unknown to the repo (std::, libc), it resolves to nothing — all
+scheduler switch points live in this tree, so unknown code cannot yield.
+
+When clang is installed, the same disciplines are re-checked for real by
+`-Wthread-safety` (see docs/STATIC_ANALYSIS.md); this model is the frontend
+that works on a bare toolchain.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+
+# Keywords that look like `name(` call/definition sites but are not.
+_NOT_A_CALL = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof", "alignas",
+    "decltype", "catch", "static_assert", "case", "new", "delete", "throw",
+    "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast", "assert",
+    "defined", "noexcept", "operator", "template", "typename", "typeid",
+}
+
+# Tokens that may sit between a definition's `)` and its `{`.
+_SIG_TAIL_TOKENS = {"const", "noexcept", "override", "final", "mutable", "try"}
+
+# `UPPER_CASE(...)` annotation macros (GUARDED_BY, ACQUIRE, PLAT_CHECK-style)
+# stripped before declarations are interpreted.
+_MACRO_CALL_RE = re.compile(r"\b[A-Z][A-Z0-9_]{2,}\s*\((?:[^()]|\([^()]*\))*\)")
+_MACRO_BARE_RE = re.compile(r"\b[A-Z][A-Z0-9_]{2,}\b")
+
+_ANNOTATION_RE = re.compile(r"\bPLATINUM_(MAY|NO)_YIELD\b")
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"(src/[^"]+)"')
+
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def _strip_code(text: str) -> str:
+    """Blanks comments, string/char literals and preprocessor lines.
+
+    Every non-newline character that is stripped becomes a space, so byte
+    offsets and line numbers in the result match the original text.
+    """
+    out = list(text)
+    n = len(text)
+    i = 0
+    # States walked explicitly; C++ raw strings are not used in this repo.
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                if i + 1 < n:
+                    out[i + 1] = " "
+                i += 2
+        elif c in "\"'":
+            quote = c
+            out[i] = " "
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                    if i < n and text[i] != "\n":
+                        out[i] = " "
+                    i += 1
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                i += 1
+        elif c == "#" and (i == 0 or text[:i].rstrip(" \t").endswith("\n") or
+                           text[:i].strip(" \t") == ""):
+            # Preprocessor line (with continuations). #define bodies can hold
+            # unbalanced braces; the structural scan must never see them.
+            while i < n:
+                if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    out[i] = " "
+                    i += 2
+                    continue
+                if text[i] == "\n":
+                    break
+                out[i] = " "
+                i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def _strip_macros(segment: str) -> str:
+    """Removes annotation-style macros from a declaration segment."""
+    prev = None
+    while prev != segment:
+        prev = segment
+        segment = _MACRO_CALL_RE.sub(" ", segment)
+    return _MACRO_BARE_RE.sub(" ", segment)
+
+
+def _strip_template_args(s: str) -> str:
+    """Removes balanced <...> groups: `std::vector<std::pair<A,B>>` -> `std::vector`."""
+    out = []
+    depth = 0
+    for ch in s:
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth = max(0, depth - 1)
+        elif depth == 0:
+            out.append(ch)
+    return "".join(out)
+
+
+def _base_type(type_text: str) -> str | None:
+    """`const sim::Scheduler&` -> `Scheduler`; `std::vector<T>` -> `vector`.
+
+    Smart pointers are transparent: `std::unique_ptr<mem::CoherentMemory>`
+    types as `CoherentMemory`, since `p->M()` dispatches on the pointee.
+    """
+    sp = re.search(r"\b(?:std::)?(?:unique_ptr|shared_ptr)\s*<(.*)>", type_text)
+    if sp is not None:
+        return _base_type(sp.group(1))
+    cleaned = _strip_template_args(type_text).replace("*", " ").replace("&", " ")
+    cleaned = re.sub(r"\b(const|constexpr|static|inline|mutable|volatile|struct|class|typename)\b",
+                     " ", cleaned)
+    idents = [t for part in cleaned.split() for t in part.split("::") if t]
+    return idents[-1] if idents else None
+
+
+@dataclass
+class FunctionDef:
+    qualified: str            # "Class::name" or "name" for free functions
+    simple: str
+    cls: str | None           # enclosing/qualifying class, if any
+    path: str                 # repo-relative posix path
+    sig_line: int             # 1-based line of the opening `(`
+    body_start: int           # offset of `{` in the file's stripped text
+    body_end: int             # offset just past the closing `}`
+    body: str = ""            # stripped body text (between the braces)
+    body_line: int = 0        # 1-based line of the `{`
+    params: str = ""          # raw parameter-list text
+    return_type: str | None = None
+    annotation: str | None = None  # "may_yield" | "no_yield" | None
+
+
+@dataclass
+class Declaration:
+    qualified: str
+    simple: str
+    cls: str | None
+    path: str
+    line: int
+    return_type: str | None
+    annotation: str | None
+
+
+@dataclass
+class CallSite:
+    name: str                 # called simple name
+    offset: int               # offset within the body text
+    line: int                 # 1-based line in the file
+    receiver: list[str] | None  # component chain, e.g. ["machine_", "scheduler()"]
+
+
+@dataclass
+class SourceFile:
+    path: str
+    raw: str
+    code: str = ""
+    raw_lines: list[str] = field(default_factory=list)
+    includes: list[tuple[int, str]] = field(default_factory=list)  # (line, "src/dir/file.h")
+    functions: list[FunctionDef] = field(default_factory=list)
+    declarations: list[Declaration] = field(default_factory=list)
+    fields: dict[str, dict[str, str]] = field(default_factory=dict)  # class -> name -> base type
+    _line_starts: list[int] = field(default_factory=list)
+
+    def line_of(self, offset: int) -> int:
+        """1-based line number for a byte offset."""
+        lo, hi = 0, len(self._line_starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._line_starts[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1
+
+
+def parse_file(path: str, text: str) -> SourceFile:
+    sf = SourceFile(path=path, raw=text)
+    sf.raw_lines = text.splitlines()
+    sf.code = _strip_code(text)
+    starts = [0]
+    for i, ch in enumerate(text):
+        if ch == "\n":
+            starts.append(i + 1)
+    sf._line_starts = starts
+    for i, line in enumerate(sf.raw_lines):
+        m = _INCLUDE_RE.match(line)
+        if m:
+            sf.includes.append((i + 1, m.group(1)))
+    _structural_scan(sf)
+    return sf
+
+
+def _first_toplevel_paren(segment: str) -> int:
+    """Offset of the first `(` at paren depth 0, or -1."""
+    depth = 0
+    angle = 0
+    for i, ch in enumerate(segment):
+        if ch == "(":
+            if depth == 0 and angle == 0:
+                return i
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif ch == "<":
+            angle += 1
+        elif ch == ">":
+            angle = max(0, angle - 1)
+    return -1
+
+
+def _match_paren(text: str, open_idx: int) -> int:
+    """Offset of the `)` matching text[open_idx] == `(`, or -1."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def _name_before(segment: str, idx: int) -> str | None:
+    """The (possibly qualified) identifier ending just before segment[idx]."""
+    j = idx
+    while j > 0 and segment[j - 1] in " \t\n":
+        j -= 1
+    m = re.search(r"((?:[A-Za-z_]\w*::)*~?[A-Za-z_]\w*)$", segment[:j])
+    return m.group(1) if m else None
+
+
+def _classify_segment(segment: str):
+    """Classifies the text before a `{` at namespace/class scope.
+
+    Returns ("namespace", name) | ("class", name) | ("enum", None) |
+    ("function", name, param_open, segment_stripped) | ("block", None).
+    """
+    seg = re.sub(r"\btemplate\s*<[^{}]*?>", " ", segment)
+    m = re.search(r"\bnamespace\s+([\w:]*)\s*$", seg)
+    if m is not None:
+        return ("namespace", m.group(1))
+    if re.search(r"\benum\b", seg):
+        return ("enum", None)
+    no_macros = _strip_macros(seg)
+    cm = re.search(r"\b(?:class|struct|union)\s+([A-Za-z_]\w*)", no_macros)
+    if cm is not None and "(" not in _strip_template_args(no_macros.split(":")[0]):
+        return ("class", cm.group(1))
+    popen = _first_toplevel_paren(seg)
+    if popen >= 0:
+        name = _name_before(seg, popen)
+        if name is not None and name.split("::")[-1].lstrip("~") not in _NOT_A_CALL \
+                and "operator" not in name:
+            return ("function", name, popen, seg)
+    return ("block", None)
+
+
+def _parse_member_segment(sf: SourceFile, segment: str, cls: str, line: int):
+    """A `;`-terminated segment at class scope: method decl or field."""
+    seg = re.sub(r"^\s*(?:public|private|protected)\s*:", " ", segment)
+    seg = re.sub(r"\btemplate\s*<[^{}]*?>", " ", seg)
+    ann_m = _ANNOTATION_RE.search(seg)
+    annotation = None
+    if ann_m:
+        annotation = "may_yield" if ann_m.group(1) == "MAY" else "no_yield"
+    clean = _strip_macros(seg)
+    popen = _first_toplevel_paren(clean)
+    if popen >= 0:
+        name = _name_before(clean, popen)
+        if name is None or name.split("::")[-1].lstrip("~") in _NOT_A_CALL \
+                or "operator" in name:
+            return
+        simple = name.split("::")[-1]
+        ret = _base_type(clean[: popen - len(name)]) if popen > len(name) else None
+        qualified = f"{cls}::{simple}" if cls else simple
+        sf.declarations.append(Declaration(
+            qualified=qualified, simple=simple, cls=cls or None, path=sf.path,
+            line=line, return_type=ret, annotation=annotation))
+        return
+    if not cls:
+        return
+    # Field: `Type name = init;` / `Type name;` (initializer dropped).
+    decl = clean.split("=")[0]
+    m = re.search(r"((?:[\w:]+(?:<[^;]*>)?[\s*&]+)+)([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*$",
+                  decl)
+    if m is None:
+        return
+    base = _base_type(m.group(1))
+    if base is not None:
+        sf.fields.setdefault(cls, {})[m.group(2)] = base
+
+
+def _structural_scan(sf: SourceFile):
+    """Single pass over the stripped text building contexts/functions/fields."""
+    code = sf.code
+    n = len(code)
+    # Stack entries: (kind, name, brace_depth_when_opened)
+    stack: list[tuple[str, str | None]] = []
+    seg_start = 0
+    in_function: FunctionDef | None = None
+    fn_depth = 0
+    depth = 0
+    i = 0
+    while i < n:
+        ch = code[i]
+        if in_function is not None:
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth == fn_depth:
+                    in_function.body_end = i + 1
+                    in_function.body = code[in_function.body_start + 1: i]
+                    sf.functions.append(in_function)
+                    in_function = None
+                    seg_start = i + 1
+            i += 1
+            continue
+        if ch == "{":
+            segment = code[seg_start:i]
+            kind = _classify_segment(segment)
+            if kind[0] == "function":
+                name, popen, seg = kind[1], kind[2], kind[3]
+                cls = None
+                if "::" in name:
+                    cls = name.split("::")[-2]
+                else:
+                    for k, nm in reversed(stack):
+                        if k == "class":
+                            cls = nm
+                            break
+                simple = name.split("::")[-1]
+                qualified = f"{cls}::{simple}" if cls else simple
+                pclose = _match_paren(seg, popen)
+                params = seg[popen + 1: pclose] if pclose > popen else ""
+                ann_m = _ANNOTATION_RE.search(seg)
+                annotation = None
+                if ann_m:
+                    annotation = "may_yield" if ann_m.group(1) == "MAY" else "no_yield"
+                ret = None
+                prefix = seg[:popen - len(simple)] if popen > len(simple) else ""
+                prefix = _strip_macros(prefix)
+                # Drop the qualifier itself from the prefix before typing it.
+                prefix = re.sub(r"((?:[A-Za-z_]\w*::)*)$", "", prefix.rstrip())
+                ret = _base_type(prefix)
+                fn = FunctionDef(
+                    qualified=qualified, simple=simple, cls=cls, path=sf.path,
+                    sig_line=sf.line_of(seg_start + popen),
+                    body_start=i, body_end=-1,
+                    body_line=sf.line_of(i), params=params,
+                    return_type=ret, annotation=annotation)
+                in_function = fn
+                fn_depth = depth
+                depth += 1
+                i += 1
+                continue
+            stack.append((kind[0], kind[1] if len(kind) > 1 else None))
+            depth += 1
+            seg_start = i + 1
+        elif ch == "}":
+            if stack:
+                stack.pop()
+            depth = max(0, depth - 1)
+            i += 1
+            # `};` after class bodies.
+            while i < n and code[i] in " \t\n;":
+                i += 1
+            seg_start = i
+            continue
+        elif ch == ";":
+            segment = code[seg_start:i]
+            cls = None
+            for k, nm in reversed(stack):
+                if k == "class":
+                    cls = nm
+                    break
+                if k == "enum":
+                    cls = None
+                    break
+            in_enum = any(k == "enum" for k, _ in stack[-1:])
+            if segment.strip() and not in_enum:
+                _parse_member_segment(sf, segment, cls or "", sf.line_of(seg_start))
+            seg_start = i + 1
+        i += 1
+
+
+# ---------------------------------------------------------------------------
+# Call extraction and receiver typing
+# ---------------------------------------------------------------------------
+
+_CALL_RE = re.compile(r"([A-Za-z_]\w*)\s*\(")
+
+# One receiver-chain component: `name` or `name(...)` behind `.` or `->`.
+_CHAIN_COMPONENT_RE = re.compile(r"([A-Za-z_]\w*)\s*(\((?:[^()]|\([^()]*\))*\))?\s*$")
+
+_LOCAL_DECL_RE = re.compile(
+    r"(?:^|[;{}()])\s*(?:const\s+)?((?:\w+::)*\w+(?:<[^;(){}]*>)?)\s*[&*]?\s+"
+    r"([a-z_]\w*)\s*[=;]", re.M)
+_RANGE_FOR_RE = re.compile(
+    r"for\s*\(\s*(?:const\s+)?((?:\w+::)*\w+(?:<[^)]*>)?)\s*[&*]?\s*([a-z_]\w*)\s*:")
+_PARAM_RE = re.compile(
+    r"(?:^|,)\s*(?:const\s+)?((?:\w+::)*\w+(?:<[^,()]*>)?)\s*[&*]*\s*([a-z_]\w*)\s*(?:=[^,]*)?(?:,|$)")
+
+
+def local_types(fn: FunctionDef) -> dict[str, str]:
+    """Best-effort map of local/parameter variable name -> base type."""
+    out: dict[str, str] = {}
+    for m in _PARAM_RE.finditer(fn.params):
+        base = _base_type(m.group(1))
+        if base:
+            out[m.group(2)] = base
+    for m in _LOCAL_DECL_RE.finditer(fn.body):
+        base = _base_type(m.group(1))
+        if base and base not in ("return", "auto", "else", "delete", "using"):
+            out[m.group(2)] = base
+    for m in _RANGE_FOR_RE.finditer(fn.body):
+        base = _base_type(m.group(1))
+        if base and base != "auto":
+            out[m.group(2)] = base
+    return out
+
+
+def extract_calls(fn: FunctionDef, file: SourceFile) -> list[CallSite]:
+    """All `name(` call sites in fn's body with receiver chains."""
+    calls = []
+    body = fn.body
+    for m in _CALL_RE.finditer(body):
+        name = m.group(1)
+        if name in _NOT_A_CALL:
+            continue
+        start = m.start(1)
+        # Preceded by `.` or `->`? Walk the chain backwards.
+        j = start
+        while j > 0 and body[j - 1] in " \t\n":
+            j -= 1
+        receiver = None
+        if j >= 1 and (body[j - 1] == "." or (j >= 2 and body[j - 2: j] == "->")):
+            receiver = []
+            k = j - (1 if body[j - 1] == "." else 2)
+            while True:
+                cm = _CHAIN_COMPONENT_RE.search(body[:k])
+                if cm is None:
+                    receiver = None  # starts with `)`, `]`, `this`... give up
+                    break
+                comp = cm.group(1) + ("()" if cm.group(2) else "")
+                receiver.insert(0, comp)
+                k2 = cm.start(1)
+                while k2 > 0 and body[k2 - 1] in " \t\n":
+                    k2 -= 1
+                if k2 >= 1 and body[k2 - 1] == ".":
+                    k = k2 - 1
+                elif k2 >= 2 and body[k2 - 2: k2] == "->":
+                    k = k2 - 2
+                else:
+                    break
+            if receiver is not None and receiver and receiver[0] == "this":
+                receiver = receiver[1:] or None
+        calls.append(CallSite(
+            name=name, offset=start,
+            line=file.line_of(fn.body_start + 1 + start),
+            receiver=receiver))
+    return calls
+
+
+class RepoModel:
+    """Aggregated whole-repo view used by the rules."""
+
+    def __init__(self, files: list[SourceFile]):
+        self.files = {f.path: f for f in files}
+        self.functions: list[FunctionDef] = []
+        self.by_simple: dict[str, list[FunctionDef]] = {}
+        self.fields: dict[str, dict[str, str]] = {}
+        self.annotations: dict[str, str] = {}
+        self.return_types: dict[tuple[str | None, str], str] = {}
+        self.decl_lines: dict[str, tuple[str, int]] = {}
+        for f in files:
+            for cls, members in f.fields.items():
+                self.fields.setdefault(cls, {}).update(members)
+            for fn in f.functions:
+                self.functions.append(fn)
+                self.by_simple.setdefault(fn.simple, []).append(fn)
+                if fn.annotation:
+                    self.annotations[fn.qualified] = fn.annotation
+                if fn.return_type:
+                    self.return_types.setdefault((fn.cls, fn.simple), fn.return_type)
+            for d in f.declarations:
+                if d.annotation:
+                    self.annotations[d.qualified] = d.annotation
+                    self.decl_lines[d.qualified] = (d.path, d.line)
+                if d.return_type:
+                    self.return_types.setdefault((d.cls, d.simple), d.return_type)
+        self.known_quals = {fn.qualified for fn in self.functions} | set(self.annotations)
+
+    def resolve_receiver_type(self, fn: FunctionDef, chain: list[str],
+                              locals_map: dict[str, str]) -> str | None:
+        """Type of the object a chained call is invoked on, or None."""
+        cur: str | None = None
+        for idx, comp in enumerate(chain):
+            is_call = comp.endswith("()")
+            name = comp[:-2] if is_call else comp
+            if idx == 0:
+                if is_call:
+                    # Accessor on the enclosing object, or a free function.
+                    cur = (self.return_types.get((fn.cls, name))
+                           or self.return_types.get((None, name)))
+                else:
+                    cur = (locals_map.get(name)
+                           or (self.fields.get(fn.cls or "", {}).get(name)))
+            else:
+                if cur is None:
+                    return None
+                if is_call:
+                    cur = self.return_types.get((cur, name))
+                else:
+                    cur = self.fields.get(cur, {}).get(name)
+            if cur is None:
+                return None
+        return cur
+
+    def resolve_call(self, fn: FunctionDef, call: CallSite,
+                     locals_map: dict[str, str]) -> list[FunctionDef | str]:
+        """Candidate callees for a call site.
+
+        Returns FunctionDefs for in-repo definitions, plus bare qualified-name
+        strings for annotated declarations with no parsed body. Unknown names
+        resolve to [] (cannot yield: every switch point is in this repo).
+        """
+        cands = self.by_simple.get(call.name, [])
+        ann_only = [q for q in self.annotations
+                    if q.split("::")[-1] == call.name
+                    and q not in {c.qualified for c in cands}]
+        if call.receiver is not None:
+            rtype = self.resolve_receiver_type(fn, call.receiver, locals_map)
+            if rtype is not None:
+                out: list[FunctionDef | str] = [c for c in cands if c.cls == rtype]
+                out += [q for q in ann_only if q.startswith(rtype + "::")]
+                return out
+            return list(cands) + ann_only  # conservative union
+        # Plain call: same-class method first, else free function.
+        same = [c for c in cands if c.cls == fn.cls and fn.cls is not None]
+        if same:
+            return list(same)
+        free = [c for c in cands if c.cls is None]
+        if free:
+            return list(free)
+        if fn.cls is not None:
+            ann_same = [q for q in ann_only if q.startswith(fn.cls + "::")]
+            if ann_same:
+                return ann_same
+        return []
+
+
+def load_tree(root: str, rel_dirs: list[str],
+              extra: list[tuple[str, str]] | None = None) -> RepoModel:
+    """Parses every .h/.cc/.cpp under root/rel_dirs (plus extra (path, text))."""
+    files = []
+    for rel in rel_dirs:
+        base = os.path.join(root, rel)
+        for dirpath, _, names in sorted(os.walk(base)):
+            for name in sorted(names):
+                if not name.endswith((".h", ".cc", ".cpp")):
+                    continue
+                full = os.path.join(dirpath, name)
+                with open(full, encoding="utf-8") as f:
+                    text = f.read()
+                rel_path = os.path.relpath(full, root).replace(os.sep, "/")
+                files.append(parse_file(rel_path, text))
+    for path, text in extra or []:
+        files.append(parse_file(path, text))
+    return RepoModel(files)

@@ -1,0 +1,13 @@
+// platlint fixture: must trigger the layering rule.
+// platlint-fixture-as: src/hw/fixture_layering.cc
+// platlint-fixture-rule: layering
+//
+// src/hw is the bottom of the stack (MMU/ATC primitives); reaching up into
+// the kernel inverts the architecture.
+#include "src/kernel/kernel.h"
+
+namespace platinum::hw {
+
+int FixtureProcessors(kernel::Kernel& k) { return k.num_processors(); }
+
+}  // namespace platinum::hw

@@ -1,0 +1,26 @@
+// platlint fixture: must trigger the no-yield rule.
+// platlint-fixture-as: src/mem/fixture_no_yield.cc
+// platlint-fixture-rule: no-yield
+//
+// A PLATINUM_NO_YIELD function reaching a switch point (even transitively)
+// violates the fault-handler critical-section discipline.
+#include "src/base/thread_annotations.h"
+#include "src/sim/scheduler.h"
+
+namespace platinum::mem {
+
+class FixtureHandler {
+ public:
+  void Resolve(sim::Scheduler& sched) PLATINUM_NO_YIELD;
+
+ private:
+  void WaitForTransfer(sim::Scheduler& sched);
+};
+
+void FixtureHandler::WaitForTransfer(sim::Scheduler& sched) {
+  sched.Sleep(100);  // blocks: transitively poisons Resolve
+}
+
+void FixtureHandler::Resolve(sim::Scheduler& sched) { WaitForTransfer(sched); }
+
+}  // namespace platinum::mem

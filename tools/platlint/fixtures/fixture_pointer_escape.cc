@@ -1,0 +1,19 @@
+// platlint fixture: must trigger the pointer-escape rule.
+// platlint-fixture-as: src/apps/fixture_pointer_escape.cc
+// platlint-fixture-rule: pointer-escape
+//
+// Touching a module's backing store through a raw host pointer bypasses the
+// coherence protocol and charges no simulated time; applications must go
+// through CoherentMemory::Access.
+#include <cstdint>
+
+#include "src/sim/memory_module.h"
+
+namespace platinum::apps {
+
+uint8_t FixturePeek(sim::MemoryModule& module) {
+  uint8_t* raw = module.FrameData(0);  // escapes the memory system
+  return raw[0];
+}
+
+}  // namespace platinum::apps

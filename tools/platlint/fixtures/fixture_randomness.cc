@@ -1,0 +1,13 @@
+// platlint fixture: must trigger the randomness rule.
+// platlint-fixture-as: src/sim/fixture_randomness.cc
+// platlint-fixture-rule: randomness
+//
+// Ambient randomness in the simulation core breaks determinism; workloads
+// must use an explicitly seeded generator.
+#include <cstdlib>
+
+namespace platinum::sim {
+
+int FixturePick(int n) { return rand() % n; }
+
+}  // namespace platinum::sim

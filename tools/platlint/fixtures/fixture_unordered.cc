@@ -1,0 +1,20 @@
+// platlint fixture: must trigger the unordered-container rule.
+// platlint-fixture-as: src/mem/fixture_unordered.cc
+// platlint-fixture-rule: unordered-container
+//
+// Iterating a hash-ordered container in the simulation core can leak the
+// hash order into simulation output.
+#include <cstdint>
+#include <unordered_map>
+
+namespace platinum::mem {
+
+uint64_t FixtureSum(const std::unordered_map<uint32_t, uint64_t>& stats) {
+  uint64_t total = 0;
+  for (const auto& [id, value] : stats) {
+    total += id + value;
+  }
+  return total;
+}
+
+}  // namespace platinum::mem

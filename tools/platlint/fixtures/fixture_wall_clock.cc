@@ -1,0 +1,15 @@
+// platlint fixture: must trigger the wall-clock rule.
+// platlint-fixture-as: src/sim/fixture_wall_clock.cc
+// platlint-fixture-rule: wall-clock
+//
+// Wall-clock time in the simulation core breaks run-to-run determinism:
+// virtual time is the only clock the simulator may consult.
+#include <chrono>
+
+namespace platinum::sim {
+
+long FixtureNow() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace platinum::sim

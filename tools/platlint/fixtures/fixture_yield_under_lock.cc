@@ -1,0 +1,26 @@
+// platlint fixture: must trigger the yield-under-lock rule.
+// platlint-fixture-as: src/kernel/fixture_yield_under_lock.cc
+// platlint-fixture-rule: yield-under-lock
+//
+// A scheduler switch point inside a DisciplineLock critical section would
+// let another fiber observe the half-updated structure the lock models.
+#include "src/base/discipline_lock.h"
+#include "src/sim/scheduler.h"
+
+namespace platinum::kernel {
+
+class FixtureQueue {
+ public:
+  void Drain(sim::Scheduler& sched) {
+    queue_lock_.Acquire();
+    pending_ = 0;
+    sched.Yield();  // switch point while the queue lock is held
+    queue_lock_.Release();
+  }
+
+ private:
+  base::DisciplineLock queue_lock_;
+  int pending_ GUARDED_BY(queue_lock_) = 0;
+};
+
+}  // namespace platinum::kernel

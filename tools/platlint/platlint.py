@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""platlint: static analysis for the PLATINUM simulator.
+
+Checks the repo against the architecture-fidelity and blocking-discipline
+rules described in docs/STATIC_ANALYSIS.md:
+
+  wall-clock           no wall-clock time in the simulation core
+  randomness           no ambient randomness in the simulation core
+  unordered-container  no hash-ordered iteration in the simulation core
+  layering             src/ include graph respects the layer map
+  pointer-escape       FrameData() host pointers stay inside the memory system
+  no-yield             PLATINUM_NO_YIELD functions cannot reach a switch point
+  yield-under-lock     no switch point inside a DisciplineLock critical section
+
+Usage:
+  platlint.py [--root DIR] [--rule NAME]... [--json] [--baseline FILE]
+  platlint.py --list-rules
+  platlint.py --selftest          # fixtures must trigger, real tree must pass
+
+Exit status: 0 clean, 1 findings (or selftest failure), 2 usage error.
+
+Suppress a finding with `platlint: allow(<rule>): reason` on the line or one
+of the two lines above it (`nondet-ok:` also accepted by the three
+nondeterminism rules), or baseline a whole (rule, file) pair in the JSON
+baseline file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cpp_model  # noqa: E402
+import rules as rules_mod  # noqa: E402
+
+DEFAULT_ROOT = os.path.normpath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+FIXTURES_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+
+# Fixtures declare the path they should be analyzed at and the rule they must
+# trigger in header comments:
+_FIXTURE_AS_RE = re.compile(r"platlint-fixture-as:\s*(\S+)")
+_FIXTURE_RULE_RE = re.compile(r"platlint-fixture-rule:\s*([\w-]+)")
+
+
+def load_baseline(path: str | None):
+    if path is None or not os.path.exists(path):
+        return set()
+    with open(path, encoding="utf-8") as f:
+        entries = json.load(f)
+    return {(e["rule"], e["path"]) for e in entries}
+
+
+def run_rules(model, selected, baseline):
+    findings = []
+    for rule in selected:
+        for f in rule.apply(model):
+            if (f.rule, f.path) not in baseline:
+                findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def selftest(root: str, selected) -> int:
+    """Each fixture must trigger exactly its declared rule at its declared
+    virtual path; the rule set must also pass over the real tree."""
+    failures = 0
+    fixtures = sorted(os.listdir(FIXTURES_DIR)) if os.path.isdir(FIXTURES_DIR) else []
+    fixtures = [f for f in fixtures if f.endswith((".cc", ".h"))]
+    if not fixtures:
+        print("platlint selftest: no fixtures found", file=sys.stderr)
+        return 1
+    rule_names = {r.name for r in selected}
+    covered = set()
+    for name in fixtures:
+        full = os.path.join(FIXTURES_DIR, name)
+        with open(full, encoding="utf-8") as f:
+            text = f.read()
+        as_m = _FIXTURE_AS_RE.search(text)
+        rule_m = _FIXTURE_RULE_RE.search(text)
+        if not as_m or not rule_m:
+            print(f"FAIL {name}: missing platlint-fixture-as / platlint-fixture-rule "
+                  "header comments")
+            failures += 1
+            continue
+        as_path, want_rule = as_m.group(1), rule_m.group(1)
+        if want_rule not in rule_names:
+            continue  # rule filtered out on the command line
+        covered.add(want_rule)
+        model = cpp_model.load_tree(root, ["src"], extra=[(as_path, text)])
+        findings = run_rules(model, selected, baseline=set())
+        hits = [f for f in findings if f.path == as_path and f.rule == want_rule]
+        extra = [f for f in findings if f.path != as_path]
+        if not hits:
+            print(f"FAIL {name}: expected a [{want_rule}] finding at {as_path}, got none")
+            for f in findings:
+                print(f"  (saw) {f}")
+            failures += 1
+        elif extra:
+            print(f"FAIL {name}: fixture leaked findings into the real tree:")
+            for f in extra:
+                print(f"  {f}")
+            failures += 1
+        else:
+            print(f"ok   {name}: [{want_rule}] x{len(hits)} at {as_path}")
+    uncovered = rule_names - covered
+    if uncovered:
+        print(f"FAIL: rules with no fixture: {', '.join(sorted(uncovered))}")
+        failures += 1
+    if failures:
+        print(f"platlint selftest: {failures} failure(s)")
+        return 1
+    print(f"platlint selftest: {len(fixtures)} fixtures ok, all rules covered")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", default=DEFAULT_ROOT, help="repo root (default: auto)")
+    ap.add_argument("--rule", action="append", default=[],
+                    help="run only this rule (repeatable)")
+    ap.add_argument("--json", action="store_true", help="emit findings as JSON")
+    ap.add_argument("--baseline", default=None,
+                    help="JSON baseline of accepted (rule, path) pairs "
+                         "(default: tools/platlint/baseline.json if present)")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--selftest", action="store_true",
+                    help="verify every fixture triggers its rule")
+    ap.add_argument("--frontend", choices=["text", "clang"], default="text",
+                    help="call-graph frontend for the blocking rules: 'text' "
+                         "(default, works on any toolchain) or 'clang' "
+                         "(cross-check via clang -ast-dump=json and "
+                         "compile_commands.json)")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule in rules_mod.ALL_RULES:
+            print(f"{rule.name:20} {rule.description}")
+        return 0
+
+    if args.rule:
+        unknown = [r for r in args.rule if r not in rules_mod.RULES_BY_NAME]
+        if unknown:
+            print(f"unknown rule(s): {', '.join(unknown)} "
+                  f"(try --list-rules)", file=sys.stderr)
+            return 2
+        selected = [rules_mod.RULES_BY_NAME[r] for r in args.rule]
+    else:
+        selected = rules_mod.ALL_RULES
+
+    if args.selftest:
+        return selftest(args.root, selected)
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        default_baseline = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                        "baseline.json")
+        if os.path.exists(default_baseline):
+            baseline_path = default_baseline
+    baseline = load_baseline(baseline_path)
+
+    model = cpp_model.load_tree(args.root, ["src"])
+    findings = run_rules(model, selected, baseline)
+
+    if args.frontend == "clang":
+        import clang_frontend
+        from rules import Finding
+        try:
+            for f in clang_frontend.check_no_yield(args.root):
+                findings.append(Finding(f["rule"], f["path"], f["line"], f["message"]))
+        except clang_frontend.ClangUnavailable as e:
+            print(f"platlint: clang frontend unavailable: {e}", file=sys.stderr)
+            return 2
+
+    if args.json:
+        print(json.dumps([f.to_json() for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f)
+    if findings:
+        if not args.json:
+            print(f"\nplatlint: {len(findings)} finding(s) in {len(model.files)} files; "
+                  "fix, or suppress with a `platlint: allow(<rule>): reason` comment.")
+        return 1
+    if not args.json:
+        print(f"platlint: {len(model.files)} files clean "
+              f"({len(selected)} rule(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,382 @@
+"""platlint rule framework and the PLATINUM rule set.
+
+Every rule produces `Finding`s over a `cpp_model.RepoModel`. Suppression:
+
+  * `platlint: allow(<rule>): <reason>` in a comment on the flagged line or
+    one of the two preceding lines;
+  * `nondet-ok: <reason>` likewise, accepted (for backward compatibility)
+    by the three nondeterminism rules;
+  * a JSON baseline file with `{"rule": ..., "path": ...}` entries that
+    silence a whole (rule, file) pair — for grandfathered debt only.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from cpp_model import RepoModel, extract_calls, local_types
+
+# Directories making up the deterministic simulation core (the historical
+# lint_nondeterminism scope).
+DETERMINISM_DIRS = ("src/sim/", "src/mem/", "src/kernel/", "src/apps/")
+
+_ALLOW_RE = re.compile(r"platlint:\s*allow\(([\w,\- ]+)\)")
+_NONDET_OK_RE = re.compile(r"nondet-ok:")
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int
+    message: str
+    snippet: str = ""
+
+    def to_json(self):
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "message": self.message, "snippet": self.snippet}
+
+    def __str__(self):
+        s = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.snippet:
+            s += f"\n    {self.snippet}"
+        return s
+
+
+def _suppressed(model: RepoModel, finding: Finding, nondet_compat: bool) -> bool:
+    sf = model.files.get(finding.path)
+    if sf is None:
+        return False
+    lo = max(0, finding.line - 3)
+    window = sf.raw_lines[lo:finding.line]
+    for line in window:
+        m = _ALLOW_RE.search(line)
+        if m and finding.rule in {r.strip() for r in m.group(1).split(",")}:
+            return True
+        if nondet_compat and _NONDET_OK_RE.search(line):
+            return True
+    return False
+
+
+class Rule:
+    name = ""
+    description = ""
+    nondet_compat = False  # honors legacy `nondet-ok:` suppressions
+
+    def run(self, model: RepoModel) -> list[Finding]:
+        raise NotImplementedError
+
+    def apply(self, model: RepoModel) -> list[Finding]:
+        return [f for f in self.run(model)
+                if not _suppressed(model, f, self.nondet_compat)]
+
+
+class PatternRule(Rule):
+    """Line-regex rule over the deterministic-core directories."""
+
+    patterns: list[tuple[re.Pattern, str]] = []
+    nondet_compat = True
+
+    def run(self, model: RepoModel) -> list[Finding]:
+        out = []
+        for path, sf in sorted(model.files.items()):
+            if not path.startswith(DETERMINISM_DIRS):
+                continue
+            for i, line in enumerate(sf.raw_lines):
+                for pattern, why in self.patterns:
+                    if pattern.search(line):
+                        out.append(Finding(self.name, path, i + 1, why, line.strip()))
+        return out
+
+
+class WallClockRule(PatternRule):
+    name = "wall-clock"
+    description = ("Wall-clock time in the simulation core: identical runs must "
+                   "produce identical virtual-time output.")
+    patterns = [
+        (re.compile(r"std::chrono|#include\s*<chrono>"), "wall-clock time (std::chrono)"),
+        (re.compile(r"\bgettimeofday\s*\("), "wall-clock time (gettimeofday)"),
+        (re.compile(r"\b(?:std::)?time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+         "wall-clock time (time())"),
+        (re.compile(r"\bclock_gettime\s*\("), "wall-clock time (clock_gettime)"),
+    ]
+
+
+class RandomnessRule(PatternRule):
+    name = "randomness"
+    description = "Ambient (unseeded) randomness in the simulation core."
+    patterns = [
+        (re.compile(r"\bsrand\s*\(|(?<![\w:])rand\s*\(\s*\)"),
+         "unseeded randomness (rand/srand)"),
+        (re.compile(r"std::random_device"), "ambient randomness (std::random_device)"),
+    ]
+
+
+class UnorderedContainerRule(PatternRule):
+    name = "unordered-container"
+    description = ("std::unordered_{map,set} in the simulation core: hash iteration "
+                   "order can leak into output. Allowlist keyed-lookup-only uses "
+                   "with a comment.")
+    patterns = [
+        (re.compile(r"std::unordered_(?:map|set)\b"),
+         "hash-ordered container (iteration order leaks)"),
+    ]
+
+
+class LayeringRule(Rule):
+    """Include-graph layering: each src/ directory may include only the
+    directories below it in the architecture. The map is the intended
+    dependency structure of the simulator (docs/STATIC_ANALYSIS.md); the two
+    genuine cycles in the tree are named per-file exceptions, so any *new*
+    upward edge fails the build."""
+
+    name = "layering"
+    description = "src/ include-graph layering violations."
+
+    # directory -> set of directories it may include (besides itself and base).
+    ALLOWED = {
+        "base": set(),
+        "hw": set(),
+        "vm": {"hw"},
+        "obs": {"sim"},          # instrumentation sits beside sim
+        "sim": {"obs"},          # machine publishes counters via obs
+        "mem": {"hw", "sim"},
+        "kernel": {"mem", "obs", "sim", "vm"},
+        "check": {"kernel", "mem", "sim"},
+        "runtime": {"hw", "kernel", "obs"},
+        "baseline": {"sim"},
+        "uma": {"sim"},
+        "apps": {"baseline", "kernel", "obs", "runtime", "sim", "uma"},
+    }
+
+    # Real, justified cycles: file -> extra directories it may include.
+    EXCEPTIONS = {
+        # Top-of-stack exporter: serializes kernel reports and mem traces.
+        "src/obs/export.h": {"kernel", "mem"},
+        "src/obs/export.cc": {"kernel", "mem"},
+        # The kernel owns the optional race detector (src/check) it hosts.
+        "src/kernel/kernel.cc": {"check"},
+    }
+
+    def run(self, model: RepoModel) -> list[Finding]:
+        out = []
+        for path, sf in sorted(model.files.items()):
+            if not path.startswith("src/"):
+                continue
+            parts = path.split("/")
+            if len(parts) < 3:
+                continue
+            src_dir = parts[1]
+            allowed = self.ALLOWED.get(src_dir)
+            if allowed is None:
+                out.append(Finding(self.name, path, 1,
+                                   f"directory src/{src_dir} is not in the layering map "
+                                   "(tools/platlint/rules.py LayeringRule.ALLOWED)"))
+                continue
+            allowed = allowed | {src_dir, "base"} | self.EXCEPTIONS.get(path, set())
+            for line, inc in sf.includes:
+                inc_dir = inc.split("/")[1]
+                if inc_dir not in allowed:
+                    out.append(Finding(
+                        self.name, path, line,
+                        f"src/{src_dir} may not include src/{inc_dir} "
+                        f"(layering; see docs/STATIC_ANALYSIS.md)",
+                        sf.raw_lines[line - 1].strip()))
+        return out
+
+
+class PointerEscapeRule(Rule):
+    """Raw host pointers to simulated memory must not escape the memory
+    system. `MemoryModule::FrameData` hands out the host backing array; only
+    the access path and the block-transfer/zero-fill engines may touch it —
+    everything else must go through `CoherentMemory::Access`, which charges
+    simulated time and keeps copies coherent."""
+
+    name = "pointer-escape"
+    description = "Raw FrameData() host-pointer use outside the memory system."
+
+    ALLOWED_FILES = {
+        "src/sim/memory_module.h",   # declares FrameData
+        "src/sim/memory_module.cc",
+        "src/sim/machine.cc",        # block-transfer engine
+        "src/mem/fault_handler.cc",  # zero-fill + copy on fault
+        "src/mem/advice.cc",         # pin/replicate move data
+    }
+
+    PATTERN = re.compile(r"\bFrameData\s*\(")
+
+    def run(self, model: RepoModel) -> list[Finding]:
+        out = []
+        for path, sf in sorted(model.files.items()):
+            if not path.startswith("src/") or path in self.ALLOWED_FILES:
+                continue
+            for m in self.PATTERN.finditer(sf.code):
+                line = sf.line_of(m.start())
+                out.append(Finding(
+                    self.name, path, line,
+                    "raw host pointer to simulated memory (FrameData) outside the "
+                    "memory system; use CoherentMemory::Access",
+                    sf.raw_lines[line - 1].strip()))
+        return out
+
+
+class _YieldAnalysis:
+    """Shared may-yield closure for the two blocking-discipline rules."""
+
+    def __init__(self, model: RepoModel):
+        self.model = model
+        self.calls = {id(fn): extract_calls(fn, model.files[fn.path])
+                      for fn in model.functions}
+        self.locals = {id(fn): local_types(fn) for fn in model.functions}
+        # may_yield: qualified name -> witness (None for annotated roots,
+        # else (callsite, callee_qualified) that first proved it).
+        self.may_yield: dict[str, object] = {
+            q: None for q, a in model.annotations.items() if a == "may_yield"}
+        changed = True
+        while changed:
+            changed = False
+            for fn in model.functions:
+                if fn.qualified in self.may_yield:
+                    continue
+                hit = self._first_yielding_call(fn)
+                if hit is not None:
+                    self.may_yield[fn.qualified] = hit
+                    changed = True
+
+    def _candidates(self, fn, call):
+        return self.model.resolve_call(fn, call, self.locals[id(fn)])
+
+    def _first_yielding_call(self, fn):
+        for call in self.calls[id(fn)]:
+            for cand in self._candidates(fn, call):
+                q = cand if isinstance(cand, str) else cand.qualified
+                if q == fn.qualified:
+                    continue
+                if q in self.may_yield:
+                    return (call, q)
+        return None
+
+    def yields(self, qualified: str) -> bool:
+        return qualified in self.may_yield
+
+    def witness_chain(self, qualified: str, limit: int = 8) -> str:
+        """`A -> B -> Scheduler::Sleep` style path to an annotated root."""
+        chain = [qualified]
+        cur = qualified
+        for _ in range(limit):
+            w = self.may_yield.get(cur)
+            if w is None:
+                break
+            _, callee = w
+            chain.append(callee)
+            cur = callee
+        return " -> ".join(chain)
+
+
+def get_yield_analysis(model: RepoModel) -> _YieldAnalysis:
+    # The closure is O(functions x calls); cache it on the model instance so
+    # the two blocking rules (and repeated selftest runs) share one pass.
+    cached = getattr(model, "_platlint_yield_analysis", None)
+    if cached is None:
+        cached = _YieldAnalysis(model)
+        model._platlint_yield_analysis = cached
+    return cached
+
+
+class NoYieldRule(Rule):
+    """Verifies every PLATINUM_NO_YIELD claim: the function must not reach a
+    scheduler switch point on any call path."""
+
+    name = "no-yield"
+    description = "PLATINUM_NO_YIELD functions transitively reaching a switch point."
+
+    def run(self, model: RepoModel) -> list[Finding]:
+        ya = get_yield_analysis(model)
+        out = []
+        for fn in model.functions:
+            if model.annotations.get(fn.qualified) != "no_yield":
+                continue
+            hit = ya._first_yielding_call(fn)
+            if hit is None:
+                continue
+            call, callee = hit
+            out.append(Finding(
+                self.name, fn.path, call.line,
+                f"{fn.qualified} is declared PLATINUM_NO_YIELD but can reach a "
+                f"switch point: {fn.qualified} -> {ya.witness_chain(callee)}"))
+        return out
+
+
+class YieldUnderLockRule(Rule):
+    """No scheduler switch point may be reachable inside a
+    base::DisciplineLock critical section (Acquire..Release, or a
+    DisciplineGuard scope). A switch would let another fiber observe the
+    half-updated kernel structure the lock models.
+
+    The region is lexical and branch-insensitive: each Acquire pairs with the
+    next Release on the same receiver expression; an unmatched Acquire holds
+    to the end of the function."""
+
+    name = "yield-under-lock"
+    description = "Switch point reachable inside a DisciplineLock critical section."
+
+    _RECV_CALL_RE = re.compile(r"\b(Acquire|Release)\s*\(")
+    _GUARD_RE = re.compile(r"\bDisciplineGuard\s+\w+\s*[({]")
+
+    def run(self, model: RepoModel) -> list[Finding]:
+        ya = get_yield_analysis(model)
+        out = []
+        for fn in model.functions:
+            calls = ya.calls[id(fn)]
+            locals_map = ya.locals[id(fn)]
+            regions = []  # (start_offset, end_offset, lock_text)
+            opens = []    # (offset, receiver_text)
+            for call in calls:
+                if call.name not in ("Acquire", "Release") or call.receiver is None:
+                    continue
+                rtype = model.resolve_receiver_type(fn, call.receiver, locals_map)
+                if rtype != "DisciplineLock":
+                    continue
+                recv_text = ".".join(call.receiver)
+                if call.name == "Acquire":
+                    opens.append((call.offset, recv_text))
+                else:
+                    for idx in range(len(opens) - 1, -1, -1):
+                        if opens[idx][1] == recv_text:
+                            regions.append((opens[idx][0], call.offset, recv_text))
+                            opens.pop(idx)
+                            break
+            for offset, recv_text in opens:
+                regions.append((offset, len(fn.body), recv_text))
+            for m in self._GUARD_RE.finditer(fn.body):
+                regions.append((m.start(), len(fn.body), "DisciplineGuard"))
+            if not regions:
+                continue
+            for call in calls:
+                region = next((r for r in regions if r[0] < call.offset < r[1]), None)
+                if region is None:
+                    continue
+                for cand in model.resolve_call(fn, call, locals_map):
+                    q = cand if isinstance(cand, str) else cand.qualified
+                    if ya.yields(q):
+                        out.append(Finding(
+                            self.name, fn.path, call.line,
+                            f"{fn.qualified} calls {q} while holding {region[2]} "
+                            f"(switch point under a kernel lock): "
+                            f"{ya.witness_chain(q)}"))
+                        break
+        return out
+
+
+ALL_RULES: list[Rule] = [
+    WallClockRule(),
+    RandomnessRule(),
+    UnorderedContainerRule(),
+    LayeringRule(),
+    PointerEscapeRule(),
+    NoYieldRule(),
+    YieldUnderLockRule(),
+]
+
+RULES_BY_NAME = {r.name: r for r in ALL_RULES}

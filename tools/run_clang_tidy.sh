@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (with the repo's .clang-tidy) over every src/ translation
+# unit in the compile database. Exits 77 -- ctest's SKIP_RETURN_CODE -- when
+# clang-tidy or the compile database is missing, so the lint_clang_tidy test
+# skips gracefully on gcc-only toolchains instead of failing.
+#
+# Usage: run_clang_tidy.sh <repo-root> [build-dir]
+set -u
+
+root="${1:?usage: run_clang_tidy.sh <repo-root> [build-dir]}"
+build="${2:-$root/build}"
+
+tidy=""
+for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15; do
+  if command -v "$cand" >/dev/null 2>&1; then
+    tidy="$cand"
+    break
+  fi
+done
+if [[ -z "$tidy" ]]; then
+  echo "run_clang_tidy: clang-tidy not installed; skipping" >&2
+  exit 77
+fi
+if [[ ! -f "$build/compile_commands.json" ]]; then
+  echo "run_clang_tidy: $build/compile_commands.json missing; configure first" >&2
+  exit 77
+fi
+
+# Only our own translation units; the database also lists tests and examples.
+mapfile -t sources < <(cd "$root" && ls src/*/*.cc | sort)
+if [[ ${#sources[@]} -eq 0 ]]; then
+  echo "run_clang_tidy: no sources found under $root/src" >&2
+  exit 1
+fi
+
+status=0
+for src in "${sources[@]}"; do
+  "$tidy" -p "$build" --quiet "$root/$src" || status=1
+done
+if [[ $status -ne 0 ]]; then
+  echo "run_clang_tidy: findings above; fix or add a NOLINT(<check>) with a reason" >&2
+fi
+exit $status
