@@ -9,6 +9,8 @@
 // (Section 9) — this is that experiment.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "src/apps/gauss.h"
 #include "src/apps/mergesort.h"
@@ -36,17 +38,21 @@ SimTime GaussAt(uint32_t page_bytes) {
   config.n = bench::EnvInt("PLATINUM_GAUSS_N", bench::FullScale() ? 512 : 160);
   config.processors = 16;
   config.verify = false;
-  return RunGaussPlatinum(kernel, config).elimination_ns;
+  SimTime t = RunGaussPlatinum(kernel, config).elimination_ns;
+  bench::RunMetrics::Count(machine);
+  return t;
 }
 
 SimTime SortAt(uint32_t page_bytes) {
   sim::Machine machine(ParamsWithPageSize(page_bytes));
   kernel::Kernel kernel(&machine);
   apps::SortConfig config;
-  config.count = 1 << 14;
+  config.count = static_cast<size_t>(bench::EnvInt("PLATINUM_SORT_COUNT", 1 << 14));
   config.processors = 16;
   config.verify = false;
-  return RunMergeSortPlatinum(kernel, config).sort_ns;
+  SimTime t = RunMergeSortPlatinum(kernel, config).sort_ns;
+  bench::RunMetrics::Count(machine);
+  return t;
 }
 
 SimTime NeuralAt(uint32_t page_bytes) {
@@ -54,8 +60,10 @@ SimTime NeuralAt(uint32_t page_bytes) {
   kernel::Kernel kernel(&machine);
   apps::NeuralConfig config;
   config.processors = 16;
-  config.epochs = 4;
-  return RunNeuralPlatinum(kernel, config).train_ns;
+  config.epochs = bench::EnvInt("PLATINUM_NEURAL_EPOCHS", 4);
+  SimTime t = RunNeuralPlatinum(kernel, config).train_ns;
+  bench::RunMetrics::Count(machine);
+  return t;
 }
 
 void BM_GaussPageSize(benchmark::State& state) {
@@ -74,9 +82,26 @@ int main(int argc, char** argv) {
 
   std::printf("\n=== Ablation: page size (16 processors) ===\n");
   std::printf("%10s %12s %12s %12s\n", "page (B)", "gauss (s)", "sort (s)", "neural (s)");
-  for (uint32_t bytes : {512u, 1024u, 2048u, 4096u, 8192u, 16384u}) {
-    std::printf("%10u %12.3f %12.3f %12.3f\n", bytes, sim::ToSeconds(GaussAt(bytes)),
-                sim::ToSeconds(SortAt(bytes)), sim::ToSeconds(NeuralAt(bytes)));
+  const std::vector<uint32_t> sizes = {512u, 1024u, 2048u, 4096u, 8192u, 16384u};
+  const int n_sizes = static_cast<int>(sizes.size());
+  // 3 applications per page size, every point an independent machine.
+  bench::SweepRunner runner;
+  std::vector<SimTime> times = runner.Map(3 * n_sizes, [&](int i) -> SimTime {
+    uint32_t bytes = sizes[static_cast<size_t>(i % n_sizes)];
+    switch (i / n_sizes) {
+      case 0:
+        return GaussAt(bytes);
+      case 1:
+        return SortAt(bytes);
+      default:
+        return NeuralAt(bytes);
+    }
+  });
+  for (int i = 0; i < n_sizes; ++i) {
+    std::printf("%10u %12.3f %12.3f %12.3f\n", sizes[static_cast<size_t>(i)],
+                sim::ToSeconds(times[static_cast<size_t>(i)]),
+                sim::ToSeconds(times[static_cast<size_t>(n_sizes + i)]),
+                sim::ToSeconds(times[static_cast<size_t>(2 * n_sizes + i)]));
   }
   bench::PrintPaperNote(
       "the economical page size tracks the program's data-access granularity "
@@ -85,5 +110,6 @@ int main(int argc, char** argv) {
       "while pages smaller than the granularity multiply the fixed per-fault "
       "overhead. The fine-grain neural simulator is largely insensitive: its "
       "pages freeze whatever their size.");
+  bench::RunMetrics::Print();
   return 0;
 }

@@ -57,7 +57,9 @@ SimTime RunWith(int policy, const std::function<SimTime(kernel::Kernel&)>& app) 
   // The Bolosky-style policy freezes for good: no defrost.
   options.start_defrost_daemon = policy != 4;
   kernel::Kernel kernel(&machine, std::move(options));
-  return app(kernel);
+  SimTime t = app(kernel);
+  bench::RunMetrics::Count(machine);
+  return t;
 }
 
 SimTime GaussApp(kernel::Kernel& kernel) {
@@ -70,7 +72,7 @@ SimTime GaussApp(kernel::Kernel& kernel) {
 
 SimTime SortApp(kernel::Kernel& kernel) {
   apps::SortConfig config;
-  config.count = 1 << 14;
+  config.count = static_cast<size_t>(bench::EnvInt("PLATINUM_SORT_COUNT", 1 << 14));
   config.processors = 16;
   config.verify = false;
   return RunMergeSortPlatinum(kernel, config).sort_ns;
@@ -79,7 +81,7 @@ SimTime SortApp(kernel::Kernel& kernel) {
 SimTime NeuralApp(kernel::Kernel& kernel) {
   apps::NeuralConfig config;
   config.processors = 16;
-  config.epochs = 4;
+  config.epochs = bench::EnvInt("PLATINUM_NEURAL_EPOCHS", 4);
   return RunNeuralPlatinum(kernel, config).train_ns;
 }
 
@@ -120,12 +122,20 @@ int main(int argc, char** argv) {
   std::printf("\n=== Ablation: replication policies (16 processors) ===\n");
   std::printf("%-20s %12s %12s %12s %14s\n", "policy", "gauss (s)", "sort (s)", "neural (s)",
               "ping-pong (ms)");
-  for (int policy = 0; policy < 5; ++policy) {
-    double g = sim::ToSeconds(RunWith(policy, GaussApp));
-    double s = sim::ToSeconds(RunWith(policy, SortApp));
-    double n = sim::ToSeconds(RunWith(policy, NeuralApp));
-    double pp = sim::ToMilliseconds(RunWith(policy, PingPongApp));
-    std::printf("%-20s %12.3f %12.3f %12.3f %14.1f\n", kPolicyNames[policy], g, s, n, pp);
+  constexpr int kPolicies = 5;
+  const std::function<SimTime(kernel::Kernel&)> apps[] = {GaussApp, SortApp, NeuralApp,
+                                                          PingPongApp};
+  constexpr int kApps = 4;
+  // policy x app grid, every cell an independent machine.
+  bench::SweepRunner runner;
+  std::vector<SimTime> times = runner.Map(kPolicies * kApps, [&](int i) -> SimTime {
+    return RunWith(i / kApps, apps[i % kApps]);
+  });
+  for (int policy = 0; policy < kPolicies; ++policy) {
+    const SimTime* row = &times[static_cast<size_t>(policy * kApps)];
+    std::printf("%-20s %12.3f %12.3f %12.3f %14.1f\n", kPolicyNames[policy],
+                sim::ToSeconds(row[0]), sim::ToSeconds(row[1]), sim::ToSeconds(row[2]),
+                sim::ToMilliseconds(row[3]));
   }
   bench::PrintPaperNote(
       "the timestamp policy should track always-cache on coarse-grain "
@@ -133,5 +143,6 @@ int main(int argc, char** argv) {
       "write-sharing (neural, ping-pong) — using remote access effectively "
       "disables caching exactly where running the protocol costs more than "
       "not caching.");
+  bench::RunMetrics::Print();
   return 0;
 }

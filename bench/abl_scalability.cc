@@ -31,17 +31,21 @@ SimTime GaussAt(int processors) {
   config.n = bench::EnvInt("PLATINUM_GAUSS_N", bench::FullScale() ? 800 : 384);
   config.processors = processors;
   config.verify = false;
-  return RunGaussPlatinum(kernel, config).elimination_ns;
+  SimTime t = RunGaussPlatinum(kernel, config).elimination_ns;
+  bench::RunMetrics::Count(machine);
+  return t;
 }
 
 SimTime SortAt(int processors) {
   sim::Machine machine(sim::ButterflyPlusParams(processors));
   kernel::Kernel kernel(&machine);
   apps::SortConfig config;
-  config.count = size_t{1} << 16;
+  config.count = static_cast<size_t>(bench::EnvInt("PLATINUM_SORT_COUNT", 1 << 16));
   config.processors = processors;
   config.verify = false;
-  return RunMergeSortPlatinum(kernel, config).sort_ns;
+  SimTime t = RunMergeSortPlatinum(kernel, config).sort_ns;
+  bench::RunMetrics::Count(machine);
+  return t;
 }
 
 // Write-miss invalidation latency with `replicas` active read copies, on a
@@ -68,6 +72,7 @@ SimTime ShootdownAt(int replicas) {
     });
   }
   kernel.Run();
+  bench::RunMetrics::Count(machine);
   return duration;
 }
 
@@ -85,12 +90,28 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
 
   std::printf("\n=== Ablation: scaling past the 16-node testbed (Section 9) ===\n");
+  bench::SweepRunner runner;
+  // All sweep points of both experiments, sharded across host threads; every
+  // point is its own machine, so the results are independent of worker count.
+  const std::vector<int> proc_counts = {1, 16, 32, 64};
+  const std::vector<int> replica_counts = {1, 15, 31, 47, 63};
+  const int n_procs = static_cast<int>(proc_counts.size());
+  const int n_replicas = static_cast<int>(replica_counts.size());
+  std::vector<SimTime> times =
+      runner.Map(2 * n_procs + n_replicas, [&](int i) -> SimTime {
+        if (i < n_procs) {
+          return GaussAt(proc_counts[static_cast<size_t>(i)]);
+        }
+        if (i < 2 * n_procs) {
+          return SortAt(proc_counts[static_cast<size_t>(i - n_procs)]);
+        }
+        return ShootdownAt(replica_counts[static_cast<size_t>(i - 2 * n_procs)]);
+      });
+
   bench::SpeedupTable table("application speedup at 16/32/64 nodes", {"gauss", "mergesort"});
-  SimTime gauss_1 = GaussAt(1);
-  SimTime sort_1 = SortAt(1);
-  table.AddRow(1, {gauss_1, sort_1});
-  for (int p : {16, 32, 64}) {
-    table.AddRow(p, {GaussAt(p), SortAt(p)});
+  for (int i = 0; i < n_procs; ++i) {
+    table.AddRow(proc_counts[static_cast<size_t>(i)],
+                 {times[static_cast<size_t>(i)], times[static_cast<size_t>(n_procs + i)]});
   }
   table.Print();
   bench::MaybeWriteJson(table, "abl_scalability");
@@ -98,8 +119,9 @@ int main(int argc, char** argv) {
   std::printf("\n--- write-miss invalidation vs. replica count (64-node machine) ---\n");
   double previous = 0;
   int previous_replicas = 0;
-  for (int replicas : {1, 15, 31, 47, 63}) {
-    double ms = sim::ToMilliseconds(ShootdownAt(replicas));
+  for (int i = 0; i < n_replicas; ++i) {
+    int replicas = replica_counts[static_cast<size_t>(i)];
+    double ms = sim::ToMilliseconds(times[static_cast<size_t>(2 * n_procs + i)]);
     std::printf("invalidate %2d replicas: %7.3f ms", replicas, ms);
     if (previous > 0) {
       std::printf("   (incremental %5.1f us/processor)",
@@ -114,5 +136,6 @@ int main(int argc, char** argv) {
       "as the machine grows — the decentralized design's scalability claim. "
       "Application speedup keeps growing past 16 nodes for coarse-grain "
       "work (gauss), while tree merge sort saturates by construction.");
+  bench::RunMetrics::Print();
   return 0;
 }

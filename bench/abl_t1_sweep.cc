@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/apps/gauss.h"
@@ -31,7 +32,9 @@ SimTime RunGauss(SimTime t1, bool thaw_on_access) {
   config.n = bench::EnvInt("PLATINUM_GAUSS_N", bench::FullScale() ? 512 : 160);
   config.processors = 16;
   config.verify = false;
-  return RunGaussPlatinum(kernel, config).elimination_ns;
+  SimTime t = RunGaussPlatinum(kernel, config).elimination_ns;
+  bench::RunMetrics::Count(machine);
+  return t;
 }
 
 SimTime RunNeural(SimTime t1, bool thaw_on_access) {
@@ -41,8 +44,10 @@ SimTime RunNeural(SimTime t1, bool thaw_on_access) {
   kernel::Kernel kernel(&machine, std::move(options));
   apps::NeuralConfig config;
   config.processors = 16;
-  config.epochs = 5;
-  return RunNeuralPlatinum(kernel, config).train_ns;
+  config.epochs = bench::EnvInt("PLATINUM_NEURAL_EPOCHS", 5);
+  SimTime t = RunNeuralPlatinum(kernel, config).train_ns;
+  bench::RunMetrics::Count(machine);
+  return t;
 }
 
 void BM_GaussT1(benchmark::State& state) {
@@ -62,12 +67,28 @@ int main(int argc, char** argv) {
   std::printf("\n=== Ablation: freeze window t1 (Section 4.2) ===\n");
   std::printf("%8s %18s %18s %22s\n", "t1 (ms)", "gauss 16p (s)", "neural 16p (s)",
               "gauss thaw-on-access");
+  const std::vector<SimTime> t1_values = {1, 3, 10, 30, 100, 300};
+  const int n_t1 = static_cast<int>(t1_values.size());
+  // 3 experiments per t1 value, every point an independent machine.
+  bench::SweepRunner runner;
+  std::vector<SimTime> times = runner.Map(3 * n_t1, [&](int i) -> SimTime {
+    SimTime t1 = t1_values[static_cast<size_t>(i % n_t1)] * kMillisecond;
+    switch (i / n_t1) {
+      case 0:
+        return RunGauss(t1, false);
+      case 1:
+        return RunNeural(t1, false);
+      default:
+        return RunGauss(t1, true);
+    }
+  });
   double gauss_10 = 0;
   double gauss_100 = 0;
-  for (SimTime t1_ms : {1, 3, 10, 30, 100, 300}) {
-    double g = sim::ToSeconds(RunGauss(t1_ms * kMillisecond, false));
-    double n = sim::ToSeconds(RunNeural(t1_ms * kMillisecond, false));
-    double g_thaw = sim::ToSeconds(RunGauss(t1_ms * kMillisecond, true));
+  for (int i = 0; i < n_t1; ++i) {
+    SimTime t1_ms = t1_values[static_cast<size_t>(i)];
+    double g = sim::ToSeconds(times[static_cast<size_t>(i)]);
+    double n = sim::ToSeconds(times[static_cast<size_t>(n_t1 + i)]);
+    double g_thaw = sim::ToSeconds(times[static_cast<size_t>(2 * n_t1 + i)]);
     if (t1_ms == 10) {
       gauss_10 = g;
     }
@@ -83,5 +104,6 @@ int main(int argc, char** argv) {
       "application performance is insensitive to varying t1 from 10 ms up to "
       "about 100 ms; the default and thaw-on-access freezing policies show no "
       "significant difference.");
+  bench::RunMetrics::Print();
   return 0;
 }

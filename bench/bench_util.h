@@ -6,26 +6,135 @@
 // google-benchmark so the harness also emits machine-readable output.
 // Workload sizes default to values that run in seconds; set PLATINUM_FULL=1
 // for paper-scale inputs.
+//
+// Independent sweep points (each owning its own sim::Machine) are sharded
+// across host threads by SweepRunner; docs/PERFORMANCE.md describes the
+// harness and the BENCH_*.json pipeline built on top of it.
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <atomic>
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "src/obs/export.h"
 #include "src/obs/json.h"
+#include "src/sim/machine.h"
 #include "src/sim/time.h"
 
 namespace platinum::bench {
 
+// Integer environment knob. Aborts on malformed values (e.g.
+// PLATINUM_GAUSS_N=8oo) instead of silently running the wrong experiment.
 inline int EnvInt(const char* name, int fallback) {
   const char* value = std::getenv(name);
-  return value != nullptr ? std::atoi(value) : fallback;
+  if (value == nullptr) {
+    return fallback;
+  }
+  errno = 0;
+  char* end = nullptr;
+  long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || parsed < INT_MIN || parsed > INT_MAX) {
+    std::fprintf(stderr, "bench: %s=\"%s\" is not an integer\n", name, value);
+    std::abort();
+  }
+  return static_cast<int>(parsed);
 }
 
 inline bool FullScale() { return EnvInt("PLATINUM_FULL", 0) != 0; }
+
+// Shards the `n` points of a sweep across host threads. Each point must be a
+// self-contained simulation (its own sim::Machine — they share no mutable
+// state, so the sweep is embarrassingly parallel) and must not print: all
+// output happens in the caller, in index order, after Map returns. Results
+// are keyed by point index, so tables and JSON are byte-identical to a
+// serial run whatever the worker count.
+class SweepRunner {
+ public:
+  // `workers` <= 0 selects PLATINUM_BENCH_WORKERS, defaulting to the host's
+  // hardware concurrency; 1 runs the sweep serially on the calling thread.
+  explicit SweepRunner(int workers = 0) : workers_(workers) {
+    if (workers_ <= 0) {
+      workers_ = EnvInt("PLATINUM_BENCH_WORKERS", 0);
+    }
+    if (workers_ <= 0) {
+      workers_ = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    if (workers_ < 1) {
+      workers_ = 1;
+    }
+  }
+
+  int workers() const { return workers_; }
+
+  // Runs fn(0) .. fn(n-1) and returns their results in index order.
+  template <typename Fn>
+  auto Map(int n, Fn&& fn) const -> std::vector<std::invoke_result_t<Fn&, int>> {
+    std::vector<std::invoke_result_t<Fn&, int>> results(static_cast<size_t>(n));
+    if (workers_ <= 1 || n <= 1) {
+      for (int i = 0; i < n; ++i) {
+        results[static_cast<size_t>(i)] = fn(i);
+      }
+      return results;
+    }
+    std::atomic<int> next{0};
+    auto drain = [&results, &next, &fn, n] {
+      for (int i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        results[static_cast<size_t>(i)] = fn(i);
+      }
+    };
+    std::vector<std::thread> pool;
+    const int spawned = workers_ < n ? workers_ : n;
+    pool.reserve(static_cast<size_t>(spawned));
+    for (int t = 0; t < spawned; ++t) {
+      pool.emplace_back(drain);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+    return results;
+  }
+
+ private:
+  int workers_ = 1;
+};
+
+// Aggregate host-throughput accounting for one bench binary: every finished
+// simulation reports its reference count and simulated duration before its
+// machine is destroyed, and main() prints one machine-parsable summary line
+// that tools/bench_report.py combines with host wall-clock into accesses/sec.
+// Counters are atomic (and order-independent sums) so SweepRunner workers can
+// report concurrently without perturbing the output.
+class RunMetrics {
+ public:
+  static void Count(const sim::Machine& machine) {
+    machines_.fetch_add(1, std::memory_order_relaxed);
+    references_.fetch_add(machine.stats().total_references(), std::memory_order_relaxed);
+    sim_ns_.fetch_add(static_cast<uint64_t>(machine.scheduler().global_now()),
+                      std::memory_order_relaxed);
+  }
+
+  static void Print() {
+    std::printf(
+        "PLATINUM_BENCH_METRICS {\"machines\": %llu, \"references\": %llu, "
+        "\"sim_seconds\": %.3f}\n",
+        static_cast<unsigned long long>(machines_.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(references_.load(std::memory_order_relaxed)),
+        static_cast<double>(sim_ns_.load(std::memory_order_relaxed)) / 1e9);
+  }
+
+ private:
+  static inline std::atomic<uint64_t> machines_{0};
+  static inline std::atomic<uint64_t> references_{0};
+  static inline std::atomic<uint64_t> sim_ns_{0};
+};
 
 // A speedup-curve table: one row per processor count, one column per system.
 class SpeedupTable {
@@ -49,13 +158,21 @@ class SpeedupTable {
       for (size_t i = 0; i < row.times.size(); ++i) {
         double t = sim::ToSeconds(row.times[i]);
         double base = sim::ToSeconds(rows_.front().times[i]);
-        std::printf("  %14.3f %8.2f", t, base > 0 ? base / t : 0.0);
+        std::printf("  %14.3f", t);
+        // A zero time on either side of the ratio means the run was
+        // degenerate (nothing measured); flag it instead of printing 0.00.
+        if (base > 0 && t > 0) {
+          std::printf(" %8.2f", base / t);
+        } else {
+          std::printf(" %8s", "n/a");
+        }
       }
       std::printf("\n");
     }
   }
 
-  // Machine-readable form of the table, mirroring Print().
+  // Machine-readable form of the table, mirroring Print() (a degenerate
+  // speedup becomes JSON null).
   std::string ToJson() const {
     obs::JsonWriter w;
     w.BeginObject();
@@ -78,7 +195,11 @@ class SpeedupTable {
       for (size_t i = 0; i < row.times.size(); ++i) {
         double t = sim::ToSeconds(row.times[i]);
         double base = sim::ToSeconds(rows_.front().times[i]);
-        w.Value(t > 0 ? base / t : 0.0);
+        if (base > 0 && t > 0) {
+          w.Value(base / t);
+        } else {
+          w.Null();
+        }
       }
       w.EndArray();
       w.EndObject();

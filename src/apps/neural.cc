@@ -113,15 +113,20 @@ NeuralResult RunNeuralPlatinum(kernel::Kernel& kernel, const NeuralConfig& confi
 
   rt::RunOnProcessors(kernel, space, p, "neural", [&](int pid) {
     sim::Machine& machine = kernel.machine();
-    // Weight initialization: owners write their units' fan-in weights.
+    // Weight initialization: owners write their units' fan-in weights (one
+    // contiguous run per unit, written with the block-access API).
+    std::vector<int32_t> fanin(static_cast<size_t>(n_in + n_hid));
     for (int u = n_in; u < n_units; ++u) {
       if (owner[u] != pid) {
         continue;
       }
-      for (int v = fanin_first(u); v < fanin_last(u); ++v) {
-        auto r = static_cast<int32_t>(Mix64(config.seed ^ weight_index(u, v)) % 2048) - 1024;
-        w.Set(weight_index(u, v), r);
+      const int first = fanin_first(u);
+      const int last = fanin_last(u);
+      for (int v = first; v < last; ++v) {
+        fanin[static_cast<size_t>(v - first)] =
+            static_cast<int32_t>(Mix64(config.seed ^ weight_index(u, v)) % 2048) - 1024;
       }
+      w.SetRange(weight_index(u, first), static_cast<size_t>(last - first), fanin.data());
     }
     barrier.Wait();
     if (pid == 0) {

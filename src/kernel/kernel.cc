@@ -161,6 +161,31 @@ void Kernel::WriteWord(vm::AddressSpace* space, uint32_t va, uint32_t value) {
       << "write fault at va " << va << " in space '" << space->name() << "'";
 }
 
+void Kernel::ReadWords(vm::AddressSpace* space, uint32_t va, uint32_t count, uint32_t* out) {
+  if (count == 0) {
+    return;
+  }
+  VaParts parts = Split(va);
+  mem::AccessOutcome outcome =
+      memory_->ReadRange(space->id(), parts.vpn, parts.word_offset, count, out);
+  PLAT_CHECK(outcome == mem::AccessOutcome::kOk)
+      << "read fault in range [" << va << ", " << va + count * 4 << ") in space '"
+      << space->name() << "'";
+}
+
+void Kernel::WriteWords(vm::AddressSpace* space, uint32_t va, uint32_t count,
+                        const uint32_t* values) {
+  if (count == 0) {
+    return;
+  }
+  VaParts parts = Split(va);
+  mem::AccessOutcome outcome =
+      memory_->WriteRange(space->id(), parts.vpn, parts.word_offset, count, values);
+  PLAT_CHECK(outcome == mem::AccessOutcome::kOk)
+      << "write fault in range [" << va << ", " << va + count * 4 << ") in space '"
+      << space->name() << "'";
+}
+
 uint32_t Kernel::AtomicReadModifyWrite(vm::AddressSpace* space, uint32_t va,
                                        const std::function<uint32_t(uint32_t)>& update) {
   VaParts parts = Split(va);

@@ -80,6 +80,12 @@ class Kernel {
   // --- Coherent memory access (32-bit words; `va` is a byte address) -----------
   uint32_t ReadWord(vm::AddressSpace* space, uint32_t va);
   void WriteWord(vm::AddressSpace* space, uint32_t va, uint32_t value);
+  // Block transfer of `count` consecutive words starting at `va` (may span
+  // pages). Simulated behavior is identical to `count` ReadWord/WriteWord
+  // calls — same latencies, faults and yield points — with the per-word host
+  // dispatch overhead amortized (mem::CoherentMemory::ReadRange).
+  void ReadWords(vm::AddressSpace* space, uint32_t va, uint32_t count, uint32_t* out);
+  void WriteWords(vm::AddressSpace* space, uint32_t va, uint32_t count, const uint32_t* values);
   // Atomic read-modify-write (the Butterfly's atomic remote operations).
   // Returns the *previous* value.
   uint32_t AtomicFetchAdd(vm::AddressSpace* space, uint32_t va, uint32_t delta);

@@ -1,5 +1,6 @@
 #include "src/mem/coherent_memory.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/base/check.h"
@@ -119,63 +120,138 @@ void CoherentMemory::ChargeCpageStructures(const Cpage& page, int processor) {
   }
 }
 
-CoherentMemory::AccessResult CoherentMemory::Access(uint32_t as_id, uint32_t vpn,
-                                                    uint32_t word_offset, sim::AccessKind kind,
-                                                    uint32_t write_value, bool allow_yield) {
-  sim::Scheduler& sched = machine_->scheduler();
-  int processor = sched.current_processor();
+CoherentMemory::AccessResult CoherentMemory::AccessSlow(uint32_t as_id, uint32_t vpn,
+                                                        uint32_t word_offset,
+                                                        sim::AccessKind kind,
+                                                        uint32_t write_value, bool allow_yield,
+                                                        hw::Rights needed, int processor) {
+  // Every trip through the trap is an ATC miss: either the slot held another
+  // page (or nothing), or its cached rights were too weak to be used.
+  ++machine_->stats().atc_misses;
+
   Cmap& cm = cmap(as_id);
+  hw::Pmap& pmap = cm.pmap(processor);
+  hw::Atc& atc = mmus_[processor].atc();
+  {
+    // The MMU walks the processor's private Pmap; a usable entry is loaded
+    // into the ATC, anything else traps into the coherent page fault handler.
+    const hw::PmapEntry& pe = pmap.entry(vpn);
+    if (pe.valid && Allows(pe.rights, needed)) {
+      machine_->Compute(machine_->params().atc_fill_ns);
+      atc.Fill(as_id, vpn, pe);
+      return FinishAccess(as_id, vpn, word_offset, kind, write_value, allow_yield, pe,
+                          processor);
+    }
+    AccessOutcome outcome = HandleFault(as_id, vpn, kind);
+    if (outcome != AccessOutcome::kOk) {
+      return AccessResult{outcome, 0};
+    }
+  }
+
+  // One post-fault Pmap read (the handler may have replaced the entry, so the
+  // pre-fault reference cannot be reused).
+  const hw::PmapEntry& resolved = pmap.entry(vpn);
+  PLAT_CHECK(resolved.valid && Allows(resolved.rights, needed))
+      << "fault handler left no usable translation for vpn " << vpn;
+  // EnterMapping refreshed this processor's ATC at the end of the fault, but a
+  // conflicting fill during the handler can have evicted it again.
+  const hw::PmapEntry* translation = atc.Lookup(as_id, vpn);
+  if (translation == nullptr || !Allows(translation->rights, needed)) {
+    atc.Fill(as_id, vpn, resolved);
+  }
+  return FinishAccess(as_id, vpn, word_offset, kind, write_value, allow_yield, resolved,
+                      processor);
+}
+
+void CoherentMemory::NotifyAccessObserver(uint32_t as_id, uint32_t vpn, uint32_t word_offset,
+                                          sim::AccessKind kind, int processor) {
+  sim::Scheduler& sched = machine_->scheduler();
+  const sim::Fiber* fiber = sched.current();
+  access_observer_->OnMemoryAccess(MemoryAccess{
+      as_id, vpn, word_offset, kind == sim::AccessKind::kWrite,
+      fiber != nullptr ? fiber->id() : kNoFiber, processor, sched.now()});
+}
+
+AccessOutcome CoherentMemory::ReadRange(uint32_t as_id, uint32_t vpn, uint32_t word_offset,
+                                        uint32_t count, uint32_t* out, bool allow_yield) {
+  return AccessRange(as_id, vpn, word_offset, count, sim::AccessKind::kRead, out, nullptr,
+                     allow_yield);
+}
+
+AccessOutcome CoherentMemory::WriteRange(uint32_t as_id, uint32_t vpn, uint32_t word_offset,
+                                         uint32_t count, const uint32_t* values,
+                                         bool allow_yield) {
+  return AccessRange(as_id, vpn, word_offset, count, sim::AccessKind::kWrite, nullptr, values,
+                     allow_yield);
+}
+
+AccessOutcome CoherentMemory::AccessRange(uint32_t as_id, uint32_t vpn, uint32_t word_offset,
+                                          uint32_t count, sim::AccessKind kind,
+                                          uint32_t* read_out, const uint32_t* write_in,
+                                          bool allow_yield) {
+  const uint32_t wpp = machine_->params().words_per_page();
+  PLAT_CHECK_LT(word_offset, wpp);
+  sim::Scheduler& sched = machine_->scheduler();
   hw::Rights needed =
       kind == sim::AccessKind::kWrite ? hw::Rights::kReadWrite : hw::Rights::kRead;
 
-  hw::Atc& atc = mmus_[processor].atc();
-  const hw::PmapEntry* translation = atc.Lookup(as_id, vpn);
-  if (translation != nullptr && Allows(translation->rights, needed)) {
-    ++machine_->stats().atc_hits;
-  } else {
-    // ATC miss (or insufficient cached rights): the MMU walks the processor's
-    // private Pmap; a usable entry is loaded into the ATC, anything else
-    // traps into the coherent page fault handler.
-    const hw::PmapEntry& pe = cm.pmap(processor).entry(vpn);
-    if (!pe.valid || !Allows(pe.rights, needed)) {
-      AccessOutcome outcome = HandleFault(as_id, vpn, kind);
-      if (outcome != AccessOutcome::kOk) {
-        return AccessResult{outcome, 0};
+  uint32_t done = 0;
+  while (done < count) {
+    int processor = sched.current_processor();
+    hw::Atc& atc = mmus_[processor].atc();
+    const hw::PmapEntry* translation = atc.Lookup(as_id, vpn);
+    if (translation == nullptr || !Allows(translation->rights, needed)) [[unlikely]] {
+      // Rare: push exactly one word through the scalar trap path, then resume
+      // the block loop with a fresh translation.
+      AccessResult r =
+          AccessSlow(as_id, vpn, word_offset, kind, write_in != nullptr ? write_in[done] : 0,
+                     allow_yield, needed, processor);
+      if (r.outcome != AccessOutcome::kOk) {
+        return r.outcome;
       }
-    } else {
-      ++machine_->stats().atc_misses;
-      machine_->Compute(machine_->params().atc_fill_ns);
-      atc.Fill(as_id, vpn, pe);
+      if (read_out != nullptr) {
+        read_out[done] = r.value;
+      }
+      ++done;
+      if (++word_offset == wpp) {
+        word_offset = 0;
+        ++vpn;
+      }
+      continue;
     }
-    const hw::PmapEntry& resolved = cm.pmap(processor).entry(vpn);
-    PLAT_CHECK(resolved.valid && Allows(resolved.rights, needed))
-        << "fault handler left no usable translation for vpn " << vpn;
-    translation = atc.Lookup(as_id, vpn);
-    if (translation == nullptr || !Allows(translation->rights, needed)) {
-      atc.Fill(as_id, vpn, resolved);
-      translation = atc.Lookup(as_id, vpn);
+    // Fast run: consume words of this page while the cached translation is
+    // known valid. Translations only change at switch points, so the run ends
+    // (and the translation is re-probed) whenever MaybeYield switches — and
+    // MigrateCurrent can even move the fiber to another processor meanwhile.
+    // Each iteration performs the exact per-word sequence of Access's fast
+    // path, so stats, trace and virtual time match a word-by-word loop.
+    const uint32_t module = translation->module;
+    const uint32_t frame = translation->frame;
+    const uint32_t run_end = std::min(count, done + (wpp - word_offset));
+    bool switched = false;
+    while (done < run_end && !switched) {
+      ++machine_->stats().atc_hits;
+      if (access_observer_ != nullptr) [[unlikely]] {
+        NotifyAccessObserver(as_id, vpn, word_offset, kind, processor);
+      }
+      machine_->Reference(module, kind);
+      if (kind == sim::AccessKind::kRead) {
+        read_out[done] = machine_->ReadWordRaw(module, frame, word_offset);
+      } else {
+        machine_->WriteWordRaw(module, frame, word_offset, write_in[done]);
+      }
+      ++done;
+      ++word_offset;
+      if (allow_yield) {
+        switched = sched.MaybeYield();
+      }
+    }
+    if (word_offset == wpp) {
+      word_offset = 0;
+      ++vpn;
     }
   }
-
-  if (access_observer_ != nullptr) {
-    const sim::Fiber* fiber = sched.current();
-    access_observer_->OnMemoryAccess(MemoryAccess{
-        as_id, vpn, word_offset, kind == sim::AccessKind::kWrite,
-        fiber != nullptr ? fiber->id() : kNoFiber, processor, sched.now()});
-  }
-
-  // The reference itself.
-  machine_->Reference(translation->module, kind);
-  AccessResult result;
-  if (kind == sim::AccessKind::kRead) {
-    result.value = machine_->ReadWordRaw(translation->module, translation->frame, word_offset);
-  } else {
-    machine_->WriteWordRaw(translation->module, translation->frame, word_offset, write_value);
-  }
-  if (allow_yield) {
-    sched.MaybeYield();
-  }
-  return result;
+  return AccessOutcome::kOk;
 }
 
 void CoherentMemory::EnableTracing(size_t capacity) {

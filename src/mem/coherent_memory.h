@@ -85,8 +85,39 @@ class CoherentMemory {
   // charges all latencies, moves real data. `allow_yield` lets the quantum
   // scheduler preempt after the access; read-modify-write sequences pass
   // false for all but the last access.
+  //
+  // The common case — ATC hit with sufficient rights — is fully inline: one
+  // ATC probe, hit accounting, the reference itself (docs/PERFORMANCE.md).
+  // Everything else (ATC fill from the Pmap, coherent page fault) traps into
+  // the out-of-line AccessSlow, mirroring the paper's cheap-hardware-path /
+  // software-trap split.
   AccessResult Access(uint32_t as_id, uint32_t vpn, uint32_t word_offset, sim::AccessKind kind,
-                      uint32_t write_value = 0, bool allow_yield = true) PLATINUM_MAY_YIELD;
+                      uint32_t write_value = 0, bool allow_yield = true) PLATINUM_MAY_YIELD {
+    int processor = machine_->scheduler().current_processor();
+    hw::Rights needed =
+        kind == sim::AccessKind::kWrite ? hw::Rights::kReadWrite : hw::Rights::kRead;
+    const hw::PmapEntry* translation = mmus_[processor].atc().Lookup(as_id, vpn);
+    if (translation == nullptr || !Allows(translation->rights, needed)) [[unlikely]] {
+      return AccessSlow(as_id, vpn, word_offset, kind, write_value, allow_yield, needed,
+                        processor);
+    }
+    ++machine_->stats().atc_hits;
+    return FinishAccess(as_id, vpn, word_offset, kind, write_value, allow_yield, *translation,
+                        processor);
+  }
+
+  // Block access (the Butterfly's microcoded block transfer): performs `count`
+  // consecutive word accesses starting at (vpn, word_offset), crossing page
+  // boundaries as needed. Simulated behavior — stats, charged latencies,
+  // faults, observer callbacks, trace events, yield points — is identical to
+  // the equivalent word-by-word Access loop; only host-side dispatch overhead
+  // is amortized (translation reuse within a page between switch points).
+  // Stops at the first failing word and returns its outcome; earlier words
+  // have already been transferred.
+  AccessOutcome ReadRange(uint32_t as_id, uint32_t vpn, uint32_t word_offset, uint32_t count,
+                          uint32_t* out, bool allow_yield = true) PLATINUM_MAY_YIELD;
+  AccessOutcome WriteRange(uint32_t as_id, uint32_t vpn, uint32_t word_offset, uint32_t count,
+                           const uint32_t* values, bool allow_yield = true) PLATINUM_MAY_YIELD;
 
   // The coherent page fault handler (public so microbenchmarks can measure a
   // single transition). On success the current processor holds a translation
@@ -208,6 +239,44 @@ class CoherentMemory {
   void Unfreeze(Cpage& page);
 
   // ---- coherent_memory.cc ----
+  // The trap taken when the inline fast path cannot complete an access: ATC
+  // miss, or a cached translation with insufficient rights. Counts the ATC
+  // miss, refills from the processor's private Pmap when it has a usable
+  // entry, and otherwise runs the coherent page fault handler. `needed` and
+  // `processor` are forwarded from the fast path so neither is derived twice.
+  AccessResult AccessSlow(uint32_t as_id, uint32_t vpn, uint32_t word_offset,
+                          sim::AccessKind kind, uint32_t write_value, bool allow_yield,
+                          hw::Rights needed, int processor) PLATINUM_MAY_YIELD;
+  // Tail shared by the fast and slow paths: observer callback, the reference
+  // itself (latency + data), and the post-access yield point. `translation`
+  // must permit `kind`.
+  AccessResult FinishAccess(uint32_t as_id, uint32_t vpn, uint32_t word_offset,
+                            sim::AccessKind kind, uint32_t write_value, bool allow_yield,
+                            const hw::PmapEntry& translation, int processor)
+      PLATINUM_MAY_YIELD {
+    if (access_observer_ != nullptr) [[unlikely]] {
+      NotifyAccessObserver(as_id, vpn, word_offset, kind, processor);
+    }
+    machine_->Reference(translation.module, kind);
+    AccessResult result;
+    if (kind == sim::AccessKind::kRead) {
+      result.value = machine_->ReadWordRaw(translation.module, translation.frame, word_offset);
+    } else {
+      machine_->WriteWordRaw(translation.module, translation.frame, word_offset, write_value);
+    }
+    if (allow_yield) {
+      machine_->scheduler().MaybeYield();
+    }
+    return result;
+  }
+  // Out-of-line observer dispatch so the inline fast path stays small.
+  void NotifyAccessObserver(uint32_t as_id, uint32_t vpn, uint32_t word_offset,
+                            sim::AccessKind kind, int processor) PLATINUM_NO_YIELD;
+  // Shared engine behind ReadRange/WriteRange. Exactly one of read_out /
+  // write_in is non-null.
+  AccessOutcome AccessRange(uint32_t as_id, uint32_t vpn, uint32_t word_offset, uint32_t count,
+                            sim::AccessKind kind, uint32_t* read_out, const uint32_t* write_in,
+                            bool allow_yield) PLATINUM_MAY_YIELD;
   // Installs a translation for (as, vpn) on `processor` and updates the
   // reference mask, write-mapping census and the processor's ATC.
   void EnterMapping(Cmap& cm, CmapEntry& entry, Cpage& page, uint32_t vpn, int processor,

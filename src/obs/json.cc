@@ -131,6 +131,13 @@ JsonWriter& JsonWriter::Value(bool v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::Null() {
+  Separate();
+  out_ += "null";
+  need_comma_ = true;
+  return *this;
+}
+
 namespace {
 
 // Advances `i` past a JSON string (assumes text[i] == '"'). Returns false on

@@ -31,6 +31,9 @@ class JsonWriter {
   JsonWriter& Value(int v);
   JsonWriter& Value(double v);
   JsonWriter& Value(bool v);
+  // A JSON null — for values that do not exist (e.g. a speedup over a
+  // degenerate zero-time baseline).
+  JsonWriter& Null();
 
   // The document so far. Valid JSON once every Begin has been Ended.
   const std::string& str() const { return out_; }

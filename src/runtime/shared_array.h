@@ -7,8 +7,10 @@
 #ifndef SRC_RUNTIME_SHARED_ARRAY_H_
 #define SRC_RUNTIME_SHARED_ARRAY_H_
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <type_traits>
 
@@ -53,6 +55,35 @@ class SharedArray {
     kernel_->WriteWord(space_, va(index), std::bit_cast<uint32_t>(value));
   }
 
+  // Block accessors (kernel::Kernel::ReadWords): same simulated behavior as
+  // an element-by-element loop, with the per-word host overhead amortized.
+  // Data is staged through a small stack buffer so arbitrary 4-byte T never
+  // aliases the uint32_t transfer type.
+  void GetRange(size_t first, size_t count, T* out) const {
+    PLAT_DCHECK(valid()) << "GetRange on a default-constructed rt::SharedArray";
+    PLAT_CHECK_LE(first + count, count_);
+    uint32_t buf[kChunkWords];
+    size_t done = 0;
+    while (done < count) {
+      size_t n = std::min(count - done, size_t{kChunkWords});
+      kernel_->ReadWords(space_, va(first + done), static_cast<uint32_t>(n), buf);
+      std::memcpy(out + done, buf, n * sizeof(T));
+      done += n;
+    }
+  }
+  void SetRange(size_t first, size_t count, const T* values) {
+    PLAT_DCHECK(valid()) << "SetRange on a default-constructed rt::SharedArray";
+    PLAT_CHECK_LE(first + count, count_);
+    uint32_t buf[kChunkWords];
+    size_t done = 0;
+    while (done < count) {
+      size_t n = std::min(count - done, size_t{kChunkWords});
+      std::memcpy(buf, values + done, n * sizeof(T));
+      kernel_->WriteWords(space_, va(first + done), static_cast<uint32_t>(n), buf);
+      done += n;
+    }
+  }
+
   // A view of `count` elements starting at `first` (e.g. one matrix row).
   SharedArray Slice(size_t first, size_t count) const {
     PLAT_CHECK_LE(first + count, count_);
@@ -60,6 +91,10 @@ class SharedArray {
   }
 
  private:
+  // Staging-buffer size for GetRange/SetRange: one typical page (256 words at
+  // 1 KB pages) per kernel call, small enough to live on a fiber stack.
+  static constexpr size_t kChunkWords = 256;
+
   kernel::Kernel* kernel_ = nullptr;
   vm::AddressSpace* space_ = nullptr;
   uint32_t base_va_ = 0;

@@ -7,7 +7,7 @@
 
 namespace platinum::sim {
 
-Scheduler* Scheduler::active_ = nullptr;
+thread_local Scheduler* Scheduler::active_ = nullptr;
 
 Scheduler::Scheduler(int num_processors, SimTime quantum, uint32_t fiber_stack_bytes)
     : quantum_(quantum),

@@ -127,7 +127,10 @@ class Scheduler {
   uint64_t switches_ = 0;
   bool running_ = false;
 
-  static Scheduler* active_;
+  // The scheduler whose Run() loop owns the calling host thread. thread_local
+  // so independent machines can be simulated concurrently on different host
+  // threads (bench::SweepRunner); fibers never migrate across host threads.
+  static thread_local Scheduler* active_;
 };
 
 }  // namespace platinum::sim

@@ -425,5 +425,156 @@ TEST(CoherentMemoryTiming, FrozenPageAccessIsOneRemoteReference) {
   EXPECT_GE(measured, sys.machine.params().remote_read_ns);
 }
 
+TEST_F(CoherentMemoryTest, AtcHitAndMissCountsCoverEveryReference) {
+  uint32_t id;
+  auto arr = NewPage("p", &id);
+  // Mix of fault-resolving accesses (initial fill, replication, invalidation,
+  // freeze) and plain hits across two processors.
+  At(0, 0, [&] { arr.Set(0, 5); });
+  At(1, 2 * kMillisecond, [&] { arr.Get(0); });
+  At(0, 4 * kMillisecond, [&] { arr.Set(0, 6); });
+  At(1, 6 * kMillisecond, [&] {
+    arr.Get(0);
+    arr.Get(1);
+  });
+  RunAndCheck();
+  const sim::MachineStats& stats = sys_.machine.stats();
+  EXPECT_GT(stats.faults, 0u);
+  EXPECT_GT(stats.atc_hits, 0u);
+  // Every reference resolves as either an ATC hit or an ATC miss; an access
+  // that traps into the fault handler is a miss too (the accounting bug fixed
+  // in AccessSlow).
+  EXPECT_EQ(stats.atc_hits + stats.atc_misses, stats.total_references());
+}
+
+TEST_F(CoherentMemoryTest, AtcConflictRefillsFromPmapWithoutFaulting) {
+  // The ATC is direct-mapped: vpns atc_entries apart share a slot. Touching
+  // two conflicting pages alternately must refill from the (still valid)
+  // private Pmap — an ATC miss each time, but never another page fault.
+  const uint32_t entries = sys_.machine.params().atc_entries;
+  const uint32_t wpp = sys_.machine.params().words_per_page();
+  auto arr = rt::SharedArray<uint32_t>::Create(*zone_, "conflict",
+                                               static_cast<size_t>(entries + 1) * wpp);
+  const size_t word_a = 0;                            // first page
+  const size_t word_b = static_cast<size_t>(entries) * wpp;  // conflicting page
+  At(0, 0, [&] {
+    const sim::MachineStats& stats = sys_.machine.stats();
+    arr.Set(word_a, 11);  // fault: initial fill of page A
+    arr.Set(word_b, 22);  // fault: fill of page B evicts A's ATC slot
+    uint64_t faults_before = stats.faults;
+    uint64_t misses_before = stats.atc_misses;
+    uint64_t hits_before = stats.atc_hits;
+    EXPECT_EQ(arr.Get(word_a), 11u);  // ATC conflict miss, Pmap refill, no fault
+    EXPECT_EQ(stats.faults, faults_before);
+    EXPECT_EQ(stats.atc_misses, misses_before + 1);
+    EXPECT_EQ(stats.atc_hits, hits_before);
+    EXPECT_EQ(arr.Get(word_a), 11u);  // now cached again: a plain hit
+    EXPECT_EQ(stats.atc_hits, hits_before + 1);
+    EXPECT_EQ(stats.atc_misses, misses_before + 1);
+  });
+  RunAndCheck();
+  const sim::MachineStats& stats = sys_.machine.stats();
+  EXPECT_EQ(stats.atc_hits + stats.atc_misses, stats.total_references());
+}
+
+// Runs one multi-processor scenario whose bulk transfers go either word by
+// word or through the block-access API, and returns everything observable:
+// the values read, the full machine stats, the protocol trace and the final
+// virtual time. The two variants must be indistinguishable.
+struct RangeScenarioResult {
+  std::vector<uint32_t> read_back;
+  uint64_t atc_hits = 0;
+  uint64_t atc_misses = 0;
+  uint64_t faults = 0;
+  uint64_t replications = 0;
+  uint64_t mappings_invalidated = 0;
+  uint64_t total_references = 0;
+  sim::SimTime final_time = 0;
+  std::vector<mem::TraceEvent> trace;
+};
+
+RangeScenarioResult RunRangeScenario(bool use_range) {
+  TestSystem sys(4);
+  sys.kernel.memory().EnableTracing(1 << 16);
+  auto* space = sys.kernel.CreateAddressSpace("range");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  const uint32_t wpp = sys.machine.params().words_per_page();
+  auto arr = rt::SharedArray<uint32_t>::Create(zone, "data", static_cast<size_t>(3) * wpp);
+  // A page-crossing span starting mid-page.
+  const size_t first = wpp / 2;
+  const size_t count = 2 * wpp;
+
+  RangeScenarioResult result;
+  result.read_back.resize(count);
+  sys.kernel.SpawnThread(space, 0, "writer", [&] {
+    std::vector<uint32_t> values(count);
+    for (size_t i = 0; i < count; ++i) {
+      values[i] = static_cast<uint32_t>(3 * i + 7);
+    }
+    if (use_range) {
+      arr.SetRange(first, count, values.data());
+    } else {
+      for (size_t i = 0; i < count; ++i) {
+        arr.Set(first + i, values[i]);
+      }
+    }
+  });
+  sys.kernel.SpawnThread(space, 1, "reader", [&] {
+    sys.machine.scheduler().Sleep(20 * kMillisecond);
+    if (use_range) {
+      arr.GetRange(first, count, result.read_back.data());
+    } else {
+      for (size_t i = 0; i < count; ++i) {
+        result.read_back[i] = arr.Get(first + i);
+      }
+    }
+  });
+  // A third processor dirtying the middle page concurrently, so some of the
+  // bulk words fault and some translations are shot down mid-transfer.
+  sys.kernel.SpawnThread(space, 2, "disturber", [&] {
+    sys.machine.scheduler().Sleep(10 * kMillisecond);
+    arr.Set(static_cast<size_t>(wpp) + 5, 0xdead);
+  });
+  sys.kernel.Run();
+  sys.kernel.memory().CheckInvariants();
+
+  const sim::MachineStats& stats = sys.machine.stats();
+  result.atc_hits = stats.atc_hits;
+  result.atc_misses = stats.atc_misses;
+  result.faults = stats.faults;
+  result.replications = stats.replications;
+  result.mappings_invalidated = stats.mappings_invalidated;
+  result.total_references = stats.total_references();
+  result.final_time = sys.machine.scheduler().global_now();
+  result.trace = sys.kernel.memory().trace()->Snapshot();
+  return result;
+}
+
+TEST(CoherentMemoryRange, BlockAccessMatchesWordByWordExactly) {
+  RangeScenarioResult words = RunRangeScenario(/*use_range=*/false);
+  RangeScenarioResult range = RunRangeScenario(/*use_range=*/true);
+
+  EXPECT_EQ(words.read_back, range.read_back);
+  EXPECT_EQ(words.atc_hits, range.atc_hits);
+  EXPECT_EQ(words.atc_misses, range.atc_misses);
+  EXPECT_EQ(words.faults, range.faults);
+  EXPECT_EQ(words.replications, range.replications);
+  EXPECT_EQ(words.mappings_invalidated, range.mappings_invalidated);
+  EXPECT_EQ(words.total_references, range.total_references);
+  EXPECT_EQ(words.final_time, range.final_time);
+  EXPECT_GT(words.faults, 0u);
+
+  // Identical protocol trace streams, event by event.
+  ASSERT_EQ(words.trace.size(), range.trace.size());
+  for (size_t i = 0; i < words.trace.size(); ++i) {
+    EXPECT_EQ(words.trace[i].time, range.trace[i].time) << "event " << i;
+    EXPECT_EQ(words.trace[i].type, range.trace[i].type) << "event " << i;
+    EXPECT_EQ(words.trace[i].cpage, range.trace[i].cpage) << "event " << i;
+    EXPECT_EQ(words.trace[i].processor, range.trace[i].processor) << "event " << i;
+    EXPECT_EQ(words.trace[i].detail, range.trace[i].detail) << "event " << i;
+    EXPECT_EQ(words.trace[i].thread, range.trace[i].thread) << "event " << i;
+  }
+}
+
 }  // namespace
 }  // namespace platinum

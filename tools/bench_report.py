@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Run the bench suite and emit a BENCH_<tag>.json perf baseline.
+
+Every bench binary prints a PLATINUM_BENCH_METRICS line (bench/bench_util.h:
+RunMetrics) summing simulated references and simulated seconds across all the
+machines it built; this script adds host wall-clock per binary and derives
+accesses/sec — the host-throughput figure the fast path (docs/PERFORMANCE.md)
+is meant to move. Tables written via PLATINUM_JSON_DIR are embedded so the
+simulated-time series travel with the baseline.
+
+Usage:
+  tools/bench_report.py --build-dir build --out BENCH_PR4.json [--small]
+
+`--small` shrinks the workloads to CI size (same knobs as the ctest smoke
+tests); without it the default run-in-seconds sizes are used. PLATINUM_FULL
+and PLATINUM_BENCH_WORKERS are inherited from the caller's environment.
+"""
+
+import argparse
+import json
+import os
+import platform
+import re
+import subprocess
+import sys
+import tempfile
+import time
+
+BENCHES = [
+    "fig1_gauss",
+    "table1_migration",
+    "sec4_basic_ops",
+    "fig5_mergesort",
+    "fig6_neural",
+    "abl_t1_sweep",
+    "abl_defrost",
+    "abl_policy",
+    "abl_pagesize",
+    "abl_patterns",
+    "abl_advice",
+    "abl_scalability",
+]
+
+SMALL_ENV = {
+    "PLATINUM_GAUSS_N": "48",
+    "PLATINUM_SORT_COUNT": "4096",
+    "PLATINUM_NEURAL_EPOCHS": "2",
+}
+
+METRICS_RE = re.compile(r"^PLATINUM_BENCH_METRICS (\{.*\})$", re.MULTILINE)
+
+
+def run_bench(binary, json_dir, env):
+    start = time.monotonic()
+    proc = subprocess.run(
+        [binary, "--benchmark_filter=NONE"],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    host_seconds = time.monotonic() - start
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        raise SystemExit(f"{binary} exited with {proc.returncode}")
+
+    entry = {"host_seconds": round(host_seconds, 3)}
+    matches = METRICS_RE.findall(proc.stdout)
+    if matches:
+        metrics = json.loads(matches[-1])
+        entry.update(metrics)
+        if host_seconds > 0:
+            entry["accesses_per_sec"] = round(metrics["references"] / host_seconds)
+    tables = {}
+    for name in sorted(os.listdir(json_dir)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(json_dir, name)
+        with open(path) as f:
+            tables[name[: -len(".json")]] = json.load(f)
+        os.unlink(path)
+    if tables:
+        entry["tables"] = tables
+    return entry
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default="BENCH_PR4.json")
+    parser.add_argument("--tag", default="PR4")
+    parser.add_argument("--small", action="store_true", help="CI-size workloads")
+    parser.add_argument("--benches", nargs="*", default=BENCHES)
+    args = parser.parse_args()
+
+    env = dict(os.environ)
+    if args.small:
+        env.update(SMALL_ENV)
+
+    report = {
+        "schema": "platinum-bench-report-v1",
+        "tag": args.tag,
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "cpus": os.cpu_count(),
+            "workers": env.get("PLATINUM_BENCH_WORKERS", "auto"),
+            "small": args.small,
+            "full": env.get("PLATINUM_FULL", "0") != "0",
+        },
+        "benches": {},
+    }
+
+    total_host = 0.0
+    total_refs = 0
+    total_sim = 0.0
+    with tempfile.TemporaryDirectory() as json_dir:
+        env["PLATINUM_JSON_DIR"] = json_dir
+        for name in args.benches:
+            binary = os.path.join(args.build_dir, "bench", name)
+            if not os.path.exists(binary):
+                raise SystemExit(f"bench binary not found: {binary} (build it first)")
+            print(f"bench_report: running {name} ...", flush=True)
+            entry = run_bench(binary, json_dir, env)
+            report["benches"][name] = entry
+            total_host += entry["host_seconds"]
+            total_refs += entry.get("references", 0)
+            total_sim += entry.get("sim_seconds", 0.0)
+
+    report["totals"] = {
+        "host_seconds": round(total_host, 3),
+        "references": total_refs,
+        "sim_seconds": round(total_sim, 3),
+        "accesses_per_sec": round(total_refs / total_host) if total_host > 0 else None,
+    }
+
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(
+        f"bench_report: wrote {args.out} "
+        f"({total_host:.1f}s host, {total_refs} references, "
+        f"{report['totals']['accesses_per_sec']} accesses/sec)"
+    )
+
+
+if __name__ == "__main__":
+    main()
