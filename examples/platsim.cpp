@@ -19,6 +19,10 @@
 //            --think-us=N --report --trace
 //            --trace-json=FILE   Chrome/Perfetto trace-event JSON
 //            --stats-json=FILE   counters + histograms + report as JSON
+//            --page-report=FILE  per-page forensics JSON (docs/OBSERVABILITY.md)
+//            --topk-pages=K      pages in the forensics hot-page table
+//            --timeseries-json=FILE  per-epoch counter time-series JSON
+//            --epoch-ms=N        simulated epoch length for the time-series
 //            --histograms        print latency histograms and counter tables
 //            --validate          check the emitted JSON, exit 1 on failure
 //            --check-races       vector-clock race detection, exit 1 on a race
@@ -43,6 +47,8 @@
 #include "src/mem/policy.h"
 #include "src/obs/export.h"
 #include "src/obs/json.h"
+#include "src/obs/page_trace.h"
+#include "src/obs/timeseries.h"
 #include "src/runtime/parallel.h"
 #include "src/runtime/shared_array.h"
 #include "src/runtime/zone_allocator.h"
@@ -69,6 +75,10 @@ struct Options {
   bool trace = false;
   std::string trace_json;
   std::string stats_json;
+  std::string page_report;
+  int topk_pages = 16;
+  std::string timeseries_json;
+  int epoch_ms = 10;
   bool histograms = false;
   bool validate = false;
   bool check_races = false;
@@ -119,6 +129,14 @@ Options Parse(int argc, char** argv) {
       options.trace_json = value;
     } else if (StartsWith(argv[i], "--stats-json=", &value)) {
       options.stats_json = value;
+    } else if (StartsWith(argv[i], "--page-report=", &value)) {
+      options.page_report = value;
+    } else if (StartsWith(argv[i], "--topk-pages=", &value)) {
+      options.topk_pages = std::atoi(value);
+    } else if (StartsWith(argv[i], "--timeseries-json=", &value)) {
+      options.timeseries_json = value;
+    } else if (StartsWith(argv[i], "--epoch-ms=", &value)) {
+      options.epoch_ms = std::atoi(value);
     } else if (std::strcmp(argv[i], "--report") == 0) {
       options.report = true;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
@@ -215,6 +233,23 @@ int main(int argc, char** argv) {
     // much deeper buffer than the human-readable dump needs.
     kernel.memory().EnableTracing(options.trace_json.empty() ? 8192 : 65536);
   }
+  std::unique_ptr<obs::PageTrace> page_trace;
+  if (!options.page_report.empty()) {
+    obs::PageTraceOptions pt_options;
+    pt_options.top_k = static_cast<size_t>(std::max(1, options.topk_pages));
+    page_trace = std::make_unique<obs::PageTrace>(pt_options);
+    // After EnableRaceDetection, so the detector stays chained behind the
+    // forensics observer.
+    kernel.AttachPageTrace(page_trace.get());
+  }
+  std::unique_ptr<obs::EpochSampler> sampler;
+  if (!options.timeseries_json.empty()) {
+    obs::EpochSamplerOptions ts_options;
+    ts_options.epoch_ns =
+        static_cast<sim::SimTime>(std::max(1, options.epoch_ms)) * sim::kMillisecond;
+    sampler = std::make_unique<obs::EpochSampler>(&machine, ts_options);
+    machine.scheduler().SetTimeObserver(sampler.get());
+  }
 
   std::printf("platsim: %s, %d processors, policy=%s, page=%u B\n",
               options.workload.c_str(), options.procs, options.policy.c_str(),
@@ -308,8 +343,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(oracle->transitions_checked()));
     oracle->CheckNow();
   }
+  if (sampler != nullptr) {
+    sampler->Finalize();
+  }
   if (!options.trace_json.empty()) {
-    std::string doc = obs::ExportChromeTrace(machine, kernel.memory().trace());
+    std::string doc = obs::ExportChromeTrace(machine, kernel.memory().trace(), sampler.get());
     obs::WriteFileOrDie(options.trace_json, doc);
     std::printf("wrote %s (%zu bytes)\n", options.trace_json.c_str(), doc.size());
     if (options.validate) {
@@ -322,13 +360,45 @@ int main(int argc, char** argv) {
   }
   if (!options.stats_json.empty()) {
     kernel::MemoryReport mem_report = BuildMemoryReport(kernel);
-    std::string doc = obs::ExportStatsJson(machine, &mem_report);
+    obs::TelemetrySummary telemetry{page_trace.get(), sampler.get()};
+    std::string doc = obs::ExportStatsJson(machine, &mem_report, &telemetry);
     obs::WriteFileOrDie(options.stats_json, doc);
     std::printf("wrote %s (%zu bytes)\n", options.stats_json.c_str(), doc.size());
     if (options.validate) {
       if (!obs::CheckJsonBalanced(doc) || !obs::CheckJsonHasKey(doc, "histograms") ||
           !obs::CheckJsonHasKey(doc, "per_processor")) {
         std::fprintf(stderr, "validation FAILED for %s\n", options.stats_json.c_str());
+        valid = false;
+      }
+    }
+  }
+  if (page_trace != nullptr) {
+    std::string doc = page_trace->ToJson();
+    obs::WriteFileOrDie(options.page_report, doc);
+    std::printf("wrote %s (%zu bytes)\n", options.page_report.c_str(), doc.size());
+    std::printf("page forensics: %llu events on %zu pages; flagged %zu ping-pong, "
+                "%zu freeze-churn, %zu replication-waste\n",
+                static_cast<unsigned long long>(page_trace->events_seen()),
+                page_trace->pages_tracked(), page_trace->FlaggedPingPong().size(),
+                page_trace->FlaggedFreezeChurn().size(),
+                page_trace->FlaggedReplicationWaste().size());
+    if (options.validate) {
+      if (!obs::CheckJsonBalanced(doc) || !obs::CheckJsonHasKey(doc, "top_pages") ||
+          !obs::CheckJsonHasKey(doc, "flagged")) {
+        std::fprintf(stderr, "validation FAILED for %s\n", options.page_report.c_str());
+        valid = false;
+      }
+    }
+  }
+  if (sampler != nullptr) {
+    std::string doc = sampler->ToJson();
+    obs::WriteFileOrDie(options.timeseries_json, doc);
+    std::printf("wrote %s (%zu bytes)\n", options.timeseries_json.c_str(), doc.size());
+    std::printf("time-series: %zu epochs of %d ms (%llu dropped)\n", sampler->samples().size(),
+                options.epoch_ms, static_cast<unsigned long long>(sampler->samples_dropped()));
+    if (options.validate) {
+      if (!obs::CheckJsonBalanced(doc) || !obs::CheckJsonHasKey(doc, "epochs")) {
+        std::fprintf(stderr, "validation FAILED for %s\n", options.timeseries_json.c_str());
         valid = false;
       }
     }

@@ -5,6 +5,7 @@
 
 #include "src/base/check.h"
 #include "src/check/race_detector.h"
+#include "src/obs/page_trace.h"
 #include "src/obs/scope.h"
 
 namespace platinum::kernel {
@@ -313,6 +314,13 @@ check::RaceDetector& Kernel::EnableRaceDetection() {
     ForwardIntentionalSharing(range);
   }
   return *race_detector_;
+}
+
+void Kernel::AttachPageTrace(obs::PageTrace* trace) {
+  PLAT_CHECK(trace != nullptr);
+  trace->set_next_access_observer(memory_->access_observer());
+  memory_->SetAccessObserver(trace);
+  memory_->SetPageEventSink(trace);
 }
 
 void Kernel::ForwardSyncWords(const WordRange& range) {

@@ -28,6 +28,10 @@ namespace platinum::check {
 class RaceDetector;
 }  // namespace platinum::check
 
+namespace platinum::obs {
+class PageTrace;
+}  // namespace platinum::obs
+
 namespace platinum::kernel {
 
 struct KernelOptions {
@@ -123,6 +127,13 @@ class Kernel {
   // Excludes [va, va + bytes) from race checking: the program shares these
   // words unsynchronized by design (e.g. chaotic relaxation).
   void AnnotateIntentionalSharing(vm::AddressSpace* space, uint32_t va, uint32_t bytes);
+
+  // --- Forensics (src/obs/page_trace.h) ----------------------------------------
+  // Installs `trace` as the memory system's page-event sink and access
+  // observer, chaining any observer already installed (so call this after
+  // EnableRaceDetection when both are wanted). The caller keeps ownership
+  // and must outlive the run.
+  void AttachPageTrace(obs::PageTrace* trace);
 
   // --- Name space ------------------------------------------------------------------
   vm::MemoryObject* FindMemoryObject(const std::string& name);

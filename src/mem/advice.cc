@@ -75,6 +75,7 @@ void CoherentMemory::PinTo(uint32_t as_id, uint32_t vpn, int node) {
     page.SetState(CpageState::kPresent1);
     ++page.stats().migrations;
     ++machine_->stats().migrations;
+    Trace(TraceEventType::kMigrate, page, initiator, static_cast<uint32_t>(node));
   } else if (page.copies().size() > 1) {
     // Collapse to the copy already on the target node.
     ShootdownRound round;
@@ -104,7 +105,9 @@ void CoherentMemory::PinTo(uint32_t as_id, uint32_t vpn, int node) {
     frozen_lock_.Release();
     ++page.stats().freezes;
     ++machine_->stats().freezes;
+    Trace(TraceEventType::kFreeze, page, initiator, 0);
   }
+  Trace(TraceEventType::kPin, page, initiator, static_cast<uint32_t>(node));
   NotifyTransition("pin");
 }
 
@@ -138,6 +141,7 @@ void CoherentMemory::ReplicateTo(uint32_t as_id, uint32_t vpn, int node) {
   page.SetState(CpageState::kPresentPlus);
   ++page.stats().replications;
   ++machine_->stats().replications;
+  Trace(TraceEventType::kReplicate, page, initiator, static_cast<uint32_t>(node));
   NotifyTransition("replicate");
 }
 

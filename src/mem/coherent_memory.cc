@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/base/check.h"
+#include "src/mem/page_event.h"
 
 namespace platinum::mem {
 
@@ -52,6 +53,9 @@ void CoherentMemory::BindPage(uint32_t as_id, uint32_t vpn, uint32_t cpage, hw::
   entry.rights = rights;
   entry.reference_mask = 0;
   cpages_.at(cpage).AddMapper(CpageMapper{as_id, vpn});
+  if (page_sink_ != nullptr) [[unlikely]] {
+    page_sink_->OnPageBind(as_id, vpn, cpage);
+  }
 }
 
 void CoherentMemory::UnbindPage(uint32_t as_id, uint32_t vpn) {
@@ -79,6 +83,14 @@ void CoherentMemory::UnbindPage(uint32_t as_id, uint32_t vpn) {
     page.SetState(CpageState::kPresent1);
   }
   page.RemoveMapper(as_id, vpn);
+  // Unbind can run outside any fiber (address-space teardown from the host
+  // harness), where there is no current processor to attribute.
+  const sim::Fiber* fiber = machine_->scheduler().current();
+  Trace(TraceEventType::kUnbind, page,
+        fiber != nullptr ? machine_->scheduler().current_processor() : -1, as_id);
+  if (page_sink_ != nullptr) [[unlikely]] {
+    page_sink_->OnPageUnbind(as_id, vpn, entry.cpage);
+  }
   entry = CmapEntry{};
   NotifyTransition("unbind");
 }
@@ -260,18 +272,29 @@ void CoherentMemory::EnableTracing(size_t capacity) {
 
 void CoherentMemory::Trace(TraceEventType type, const Cpage& page, int processor,
                            uint32_t detail) {
-  if (trace_ != nullptr) {
-    const sim::Fiber* fiber = machine_->scheduler().current();
-    trace_->Record(machine_->scheduler().now(), type, page.id(), processor, detail,
-                   fiber != nullptr ? fiber->id() : 0);
+  if (trace_ == nullptr && page_sink_ == nullptr) [[likely]] {
+    return;
   }
+  EmitTrace(type, page.id(), processor, detail);
 }
 
 void CoherentMemory::TraceGlobal(TraceEventType type, int processor, uint32_t detail) {
+  if (trace_ == nullptr && page_sink_ == nullptr) [[likely]] {
+    return;
+  }
+  EmitTrace(type, kTraceNoCpage, processor, detail);
+}
+
+void CoherentMemory::EmitTrace(TraceEventType type, uint32_t cpage, int processor,
+                               uint32_t detail) {
+  const sim::Fiber* fiber = machine_->scheduler().current();
+  TraceEvent event{machine_->scheduler().now(), type, cpage, static_cast<int16_t>(processor),
+                   detail, fiber != nullptr ? fiber->id() : 0};
   if (trace_ != nullptr) {
-    const sim::Fiber* fiber = machine_->scheduler().current();
-    trace_->Record(machine_->scheduler().now(), type, kTraceNoCpage, processor, detail,
-                   fiber != nullptr ? fiber->id() : 0);
+    trace_->Record(event);
+  }
+  if (page_sink_ != nullptr) {
+    page_sink_->OnPageEvent(event);
   }
 }
 

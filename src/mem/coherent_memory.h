@@ -36,6 +36,8 @@
 
 namespace platinum::mem {
 
+class PageEventSink;
+
 enum class AccessOutcome : uint8_t {
   kOk,
   kNoMapping,   // virtual page not bound to a coherent page
@@ -169,6 +171,14 @@ class CoherentMemory {
   // Installs an observer notified of every charged word access, after fault
   // resolution and before the reference is performed (race detection).
   void SetAccessObserver(AccessObserver* observer) { access_observer_ = observer; }
+  // The currently installed observer (for consumers that chain, e.g. the
+  // page-forensics layer keeping an existing race detector live).
+  AccessObserver* access_observer() const { return access_observer_; }
+  // Installs a streaming sink for protocol events and page bind/unbind
+  // notifications (the obs-layer forensics). Sinks see every event the
+  // TraceLog would record, whether or not tracing is enabled. Pass nullptr
+  // to detach.
+  void SetPageEventSink(PageEventSink* sink) { page_sink_ = sink; }
   // Installs a hook invoked after every completed protocol transition —
   // fault resolution, thaw, pin, pre-replicate, unbind — with a short name
   // for the transition (the invariant oracle). Pass nullptr to detach.
@@ -219,11 +229,14 @@ class CoherentMemory {
   // lock), so HandleFault excludes it from handler_busy_until.
   sim::SimTime fault_copy_ns_ = 0;
   void FreeCopy(Cpage& page, int module);
-  // Records a protocol event if tracing is enabled (the faulting fiber id is
-  // captured automatically).
+  // Records a protocol event into the trace ring (if tracing is enabled) and
+  // fans it out to the page-event sink (if attached); the faulting fiber id
+  // is captured automatically. A no-op when neither consumer is present.
   void Trace(TraceEventType type, const Cpage& page, int processor, uint32_t detail);
   // As Trace, for events not tied to a coherent page (defrost scans).
   void TraceGlobal(TraceEventType type, int processor, uint32_t detail);
+  // Shared tail of Trace/TraceGlobal: builds the event once, then fans out.
+  void EmitTrace(TraceEventType type, uint32_t cpage, int processor, uint32_t detail);
   // Invokes the transition hook, if any, at the end of a completed transition.
   void NotifyTransition(const char* transition) {
     if (transition_hook_) {
@@ -299,6 +312,7 @@ class CoherentMemory {
   bool defrost_daemon_started_ = false;
   std::unique_ptr<TraceLog> trace_;
   AccessObserver* access_observer_ = nullptr;
+  PageEventSink* page_sink_ = nullptr;
   TransitionHook transition_hook_;
 };
 

@@ -28,6 +28,10 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "defrost-scan";
     case TraceEventType::kPageFree:
       return "page-free";
+    case TraceEventType::kPin:
+      return "pin";
+    case TraceEventType::kUnbind:
+      return "unbind";
   }
   return "?";
 }

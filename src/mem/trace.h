@@ -22,7 +22,7 @@ namespace platinum::mem {
 enum class TraceEventType : uint8_t {
   kFault,        // detail: 0 = read, 1 = write
   kFill,         // first physical copy created
-  kReplicate,    // detail: source module
+  kReplicate,    // detail: module holding the new copy
   kMigrate,      // detail: destination module
   kRemoteMap,    // detail: module mapped
   kFreeze,
@@ -30,6 +30,8 @@ enum class TraceEventType : uint8_t {
   kShootdown,    // detail: processors interrupted
   kDefrostScan,  // defrost-daemon pass; detail: pages thawed
   kPageFree,     // physical copy reclaimed; detail: module freed
+  kPin,          // explicit PinTo placement; detail: target module
+  kUnbind,       // (as, vpn) binding removed; detail: address-space id
 };
 
 // Named via a switch with no default: adding an enumerator without a name

@@ -9,6 +9,8 @@
 #include "src/base/check.h"
 #include "src/obs/json.h"
 #include "src/obs/observability.h"
+#include "src/obs/page_trace.h"
+#include "src/obs/timeseries.h"
 
 namespace platinum::obs {
 
@@ -100,7 +102,8 @@ void MachineStatsJson(JsonWriter& w, const sim::MachineStats& s) {
 
 }  // namespace
 
-std::string ExportChromeTrace(const sim::Machine& machine, const mem::TraceLog* trace) {
+std::string ExportChromeTrace(const sim::Machine& machine, const mem::TraceLog* trace,
+                              const EpochSampler* sampler) {
   const Observability& obs = machine.obs();
   int num_nodes = machine.num_nodes();
   std::vector<TimedFragment> fragments;
@@ -167,6 +170,48 @@ std::string ExportChromeTrace(const sim::Machine& machine, const mem::TraceLog* 
     fragments.push_back(TimedFragment{phase.begin, seq++, w.str()});
   }
 
+  if (sampler != nullptr) {
+    // Per-epoch protocol counters as Perfetto counter tracks: each "ph":"C"
+    // event plots the delta for the epoch ending at its timestamp.
+    const EpochSampler::Sample* prev = nullptr;
+    for (const EpochSampler::Sample& s : sampler->samples()) {
+      sim::MachineStats base;
+      if (prev != nullptr) {
+        base = prev->stats;
+      }
+      sim::MachineStats d = s.stats - base;
+      JsonWriter w;
+      w.BeginObject();
+      w.Key("name").Value("protocol/epoch");
+      w.Key("ph").Value("C");
+      w.Key("ts").Value(ToTraceUs(s.end_ns));
+      w.Key("pid").Value(0);
+      w.Key("args").BeginObject();
+      w.Key("faults").Value(d.faults);
+      w.Key("replications").Value(d.replications);
+      w.Key("migrations").Value(d.migrations);
+      w.Key("remote_maps").Value(d.remote_maps);
+      w.EndObject();
+      w.EndObject();
+      fragments.push_back(TimedFragment{s.end_ns, seq++, w.str()});
+
+      JsonWriter f;
+      f.BeginObject();
+      f.Key("name").Value("freeze/epoch");
+      f.Key("ph").Value("C");
+      f.Key("ts").Value(ToTraceUs(s.end_ns));
+      f.Key("pid").Value(0);
+      f.Key("args").BeginObject();
+      f.Key("freezes").Value(d.freezes);
+      f.Key("thaws").Value(d.thaws);
+      f.Key("shootdowns").Value(d.shootdowns);
+      f.EndObject();
+      f.EndObject();
+      fragments.push_back(TimedFragment{s.end_ns, seq++, f.str()});
+      prev = &s;
+    }
+  }
+
   // Viewers expect events sorted by timestamp. The TraceLog is recorded in
   // per-fiber clock order, which may run ahead of other fibers by up to the
   // scheduler quantum, so sorting is required, not cosmetic.
@@ -179,8 +224,10 @@ std::string ExportChromeTrace(const sim::Machine& machine, const mem::TraceLog* 
     out += ThreadNameMetadata(t, "cpu" + std::to_string(t));
     first = false;
   }
-  out += "," + ThreadNameMetadata(num_nodes, "phases");
-  out += "," + ThreadNameMetadata(num_nodes + 1, "kernel");
+  out += ",";
+  out += ThreadNameMetadata(num_nodes, "phases");
+  out += ",";
+  out += ThreadNameMetadata(num_nodes + 1, "kernel");
   for (const TimedFragment& fragment : fragments) {
     out += ",";
     out += fragment.json;
@@ -189,7 +236,8 @@ std::string ExportChromeTrace(const sim::Machine& machine, const mem::TraceLog* 
   return out;
 }
 
-std::string ExportStatsJson(const sim::Machine& machine, const kernel::MemoryReport* report) {
+std::string ExportStatsJson(const sim::Machine& machine, const kernel::MemoryReport* report,
+                            const TelemetrySummary* telemetry) {
   const Observability& obs = machine.obs();
   JsonWriter w;
   w.BeginObject();
@@ -264,6 +312,28 @@ std::string ExportStatsJson(const sim::Machine& machine, const kernel::MemoryRep
   }
   w.EndArray();
   w.Key("spans_dropped").Value(obs.spans_dropped());
+
+  if (telemetry != nullptr && (telemetry->page_trace != nullptr || telemetry->sampler != nullptr)) {
+    // Bound/drop accounting for the forensics tier, mirroring spans_dropped:
+    // any truncation in the page-event ring, the rollup table, or the
+    // time-series is visible here even if the side documents are discarded.
+    w.Key("telemetry").BeginObject();
+    if (telemetry->page_trace != nullptr) {
+      const PageTrace& pt = *telemetry->page_trace;
+      w.Key("page_events_seen").Value(pt.events_seen());
+      w.Key("page_accesses_seen").Value(pt.accesses_seen());
+      w.Key("pages_tracked").Value(static_cast<uint64_t>(pt.pages_tracked()));
+      w.Key("page_rollups_dropped").Value(pt.rollups_dropped());
+      w.Key("page_ring_recorded").Value(pt.ring().recorded());
+      w.Key("page_ring_dropped").Value(pt.ring().dropped());
+    }
+    if (telemetry->sampler != nullptr) {
+      w.Key("timeseries_epoch_ns").Value(telemetry->sampler->epoch_ns());
+      w.Key("timeseries_samples").Value(static_cast<uint64_t>(telemetry->sampler->samples().size()));
+      w.Key("timeseries_dropped").Value(telemetry->sampler->samples_dropped());
+    }
+    w.EndObject();
+  }
 
   if (report != nullptr) {
     w.Key("report").BeginObject();

@@ -20,11 +20,27 @@
 
 namespace platinum::obs {
 
-// `trace` may be null (spans and phases alone still make a useful trace).
-std::string ExportChromeTrace(const sim::Machine& machine, const mem::TraceLog* trace);
+class EpochSampler;
+class PageTrace;
 
-// `report` may be null.
-std::string ExportStatsJson(const sim::Machine& machine, const kernel::MemoryReport* report);
+// The forensics-tier collectors attached to a run, if any. Passed to the
+// exporters so the stats JSON can carry their drop counters (truncation is
+// never silent) and the Chrome trace can carry counter tracks.
+struct TelemetrySummary {
+  const PageTrace* page_trace = nullptr;
+  const EpochSampler* sampler = nullptr;
+};
+
+// `trace` may be null (spans and phases alone still make a useful trace).
+// With a sampler attached, its epochs additionally become Perfetto counter
+// tracks ("ph":"C") so fault storms and freeze waves are visible over
+// simulated time.
+std::string ExportChromeTrace(const sim::Machine& machine, const mem::TraceLog* trace,
+                              const EpochSampler* sampler = nullptr);
+
+// `report` and `telemetry` may be null.
+std::string ExportStatsJson(const sim::Machine& machine, const kernel::MemoryReport* report,
+                            const TelemetrySummary* telemetry = nullptr);
 
 // Writes `text` to `path`; aborts the process on I/O failure.
 void WriteFileOrDie(const std::string& path, const std::string& text);

@@ -1,0 +1,84 @@
+// Simulated-time telemetry: the epoch sampler.
+//
+// End-of-run aggregates smear fault storms and freeze waves into one number.
+// EpochSampler snapshots the machine's counters every N simulated
+// milliseconds — MachineStats, per-processor fault counts, and latency
+// histogram totals — by observing the scheduler's global virtual-time
+// high-water mark (sim::TimeObserver). It owns no fiber and injects no
+// events, so attaching it never perturbs the deterministic schedule; epochs
+// close lazily, the first time global time is observed at or past the epoch
+// boundary, which means a sample reflects the counters at that observation
+// point (documented in the JSON as `end_ns`, the nominal boundary).
+//
+// Storage is bounded: past max_samples further epochs are counted in
+// samples_dropped() and discarded, the same contract as spans_dropped().
+#ifndef SRC_OBS_TIMESERIES_H_
+#define SRC_OBS_TIMESERIES_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/observability.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace platinum::sim {
+class Machine;
+}  // namespace platinum::sim
+
+namespace platinum::obs {
+
+struct EpochSamplerOptions {
+  // Simulated epoch length.
+  sim::SimTime epoch_ns = 10 * sim::kMillisecond;
+  // Bound on retained samples; later epochs are drop-counted.
+  size_t max_samples = 1 << 14;
+};
+
+class EpochSampler : public sim::TimeObserver {
+ public:
+  struct HistPoint {
+    uint64_t count = 0;
+    sim::SimTime sum_ns = 0;
+  };
+  // Cumulative counter snapshot taken when the epoch ending at `end_ns`
+  // closed. The JSON export emits per-epoch deltas between snapshots.
+  struct Sample {
+    sim::SimTime end_ns = 0;
+    sim::MachineStats stats;
+    std::vector<uint64_t> cpu_faults;
+    std::array<HistPoint, kNumHistKinds> hist{};
+  };
+
+  EpochSampler(const sim::Machine* machine, EpochSamplerOptions options = {});
+
+  // sim::TimeObserver: closes every epoch boundary crossed by the advance.
+  void OnTimeAdvance(sim::SimTime now) override;
+  // Closes the trailing partial epoch, if any counters moved since the last
+  // boundary. Call once after the run; idempotent.
+  void Finalize();
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  uint64_t samples_dropped() const { return samples_dropped_; }
+  sim::SimTime epoch_ns() const { return options_.epoch_ns; }
+
+  // The time-series document (schema "platinum-timeseries-v1").
+  std::string ToJson() const;
+
+ private:
+  void CloseEpoch(sim::SimTime end);
+
+  const sim::Machine* machine_;
+  EpochSamplerOptions options_;
+  sim::SimTime next_epoch_end_;
+  std::vector<Sample> samples_;
+  uint64_t samples_dropped_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace platinum::obs
+
+#endif  // SRC_OBS_TIMESERIES_H_

@@ -70,7 +70,7 @@ void Scheduler::Run() {
     fiber->clock_ = start;
     fiber->resumed_at_ = start;
     fiber->state_ = Fiber::State::kRunning;
-    global_now_ = std::max(global_now_, start);
+    BumpGlobalNow(start);
     current_ = fiber;
     ++switches_;
     PLAT_CHECK_EQ(swapcontext(&main_context_, &fiber->context_), 0);
@@ -106,7 +106,7 @@ void Scheduler::FinishCurrent() {
   self->joiners_.clear();
   processor_available_[self->processor_] =
       std::max(processor_available_[self->processor_], self->clock_);
-  global_now_ = std::max(global_now_, self->clock_);
+  BumpGlobalNow(self->clock_);
   // Return to the dispatch loop for good.
   PLAT_CHECK_EQ(swapcontext(&self->context_, &main_context_), 0);
 }
@@ -217,8 +217,18 @@ void Scheduler::SwitchOut(SimTime release_processor_at) {
       std::max(processor_available_[self->processor_], release_processor_at);
   // Record only time actually executed: a sleeping fiber's clock already
   // points at its future wake-up and must not drag global_now forward.
-  global_now_ = std::max(global_now_, release_processor_at);
+  BumpGlobalNow(release_processor_at);
   PLAT_CHECK_EQ(swapcontext(&self->context_, &main_context_), 0);
+}
+
+void Scheduler::BumpGlobalNow(SimTime t) {
+  if (t <= global_now_) {
+    return;
+  }
+  global_now_ = t;
+  if (time_observer_ != nullptr) [[unlikely]] {
+    time_observer_->OnTimeAdvance(t);
+  }
 }
 
 }  // namespace platinum::sim

@@ -21,6 +21,19 @@
 
 namespace platinum::sim {
 
+// Passive observer of the global virtual-time high-water mark. Fired from
+// inside the dispatch loop and switch points whenever global_now() actually
+// moves forward, so a consumer (the obs-layer epoch sampler) can close
+// simulated-time epochs without owning a fiber — observing never perturbs
+// the schedule. Callbacks must not yield and must not call back into the
+// scheduler's switching primitives.
+class TimeObserver {
+ public:
+  virtual ~TimeObserver() = default;
+  // `now` is the new (strictly increased) value of global_now().
+  virtual void OnTimeAdvance(SimTime now) = 0;
+};
+
 class Scheduler {
  public:
   // `quantum` bounds how far a fiber may run ahead before yielding; it is the
@@ -89,6 +102,11 @@ class Scheduler {
   // interrupted node spends this time in its IPI handler).
   void AddInterruptCost(int processor, SimTime cost) PLATINUM_NO_YIELD;
 
+  // --- Time observation --------------------------------------------------------
+  // Installs the observer notified whenever global_now() moves forward (one
+  // slot; pass nullptr to detach). Costs one branch per dispatch when empty.
+  void SetTimeObserver(TimeObserver* observer) { time_observer_ = observer; }
+
  private:
   struct ReadyEntry {
     SimTime key;
@@ -103,6 +121,9 @@ class Scheduler {
   };
 
   void MakeReady(Fiber* fiber) PLATINUM_NO_YIELD;
+  // Raises global_now_ to at least `t`, notifying the time observer on any
+  // actual increase. The only writer of global_now_.
+  void BumpGlobalNow(SimTime t) PLATINUM_NO_YIELD;
   // Suspends the current fiber (which must already have updated its state) and
   // returns to the dispatch loop. `release_processor_at` is when the fiber
   // stops occupying its processor. The primitive switch point.
@@ -122,6 +143,7 @@ class Scheduler {
   Fiber* current_ = nullptr;
   ucontext_t main_context_;
   SimTime global_now_ = 0;
+  TimeObserver* time_observer_ = nullptr;
   int live_non_daemon_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t switches_ = 0;

@@ -59,8 +59,12 @@ TEST(HistogramTest, EmptyHistogramIsAllZeros) {
   EXPECT_EQ(h.min(), 0u);
   EXPECT_EQ(h.max(), 0u);
   EXPECT_EQ(h.Mean(), 0.0);
+  // Every percentile of an empty distribution is zero, including the
+  // boundary ranks (no division by count, no bucket walk off the end).
+  EXPECT_EQ(h.Percentile(0), 0u);
   EXPECT_EQ(h.Percentile(50), 0u);
   EXPECT_EQ(h.Percentile(99), 0u);
+  EXPECT_EQ(h.Percentile(100), 0u);
 }
 
 TEST(HistogramTest, SingleValueDominatesEveryPercentile) {
@@ -262,6 +266,44 @@ TEST(ObsTest, PhasesNestAndCloseInnermostFirst) {
   EXPECT_EQ(obs.phases()[1].name, "inner");
   EXPECT_EQ(obs.phases()[1].delta.faults, 7u);
   EXPECT_FALSE(obs.phases()[0].open);
+}
+
+TEST(ObsTest, NestedPhasesAttributeHistogramDeltas) {
+  obs::Observability obs(1);
+  sim::MachineStats stats;
+  obs.BeginPhase("outer", 0, stats);
+  obs.RecordLatency(obs::HistKind::kFaultService, 100);
+  obs.BeginPhase("inner", 10, stats);
+  obs.RecordLatency(obs::HistKind::kFaultService, 50);
+  obs.EndPhase(20, stats);
+  obs.EndPhase(30, stats);
+  ASSERT_EQ(obs.phases().size(), 2u);
+  const obs::Phase& outer = obs.phases()[0];
+  const obs::Phase& inner = obs.phases()[1];
+  // The inner phase sees only the record inside it; the outer phase sees
+  // both (nesting attributes activity to every enclosing phase).
+  constexpr auto kFault = static_cast<size_t>(obs::HistKind::kFaultService);
+  EXPECT_EQ(inner.hist_delta[kFault].count, 1u);
+  EXPECT_EQ(inner.hist_delta[kFault].sum, 50u);
+  EXPECT_EQ(outer.hist_delta[kFault].count, 2u);
+  EXPECT_EQ(outer.hist_delta[kFault].sum, 150u);
+  constexpr auto kQueue = static_cast<size_t>(obs::HistKind::kModuleQueue);
+  EXPECT_EQ(outer.hist_delta[kQueue].count, 0u);
+}
+
+TEST(ObsTest, SpanStorageIsBoundedAndDropCounted) {
+  obs::Observability obs(1);
+  constexpr uint64_t kTotal = 70000;  // comfortably past the span bound
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    obs.RecordSpan(obs::Span{"s", 0, 0, sim::SimTime{i}, sim::SimTime{i + 1}});
+  }
+  // The bound held, overflow was counted, and nothing was lost silently.
+  EXPECT_LT(obs.spans().size(), kTotal);
+  EXPECT_GT(obs.spans_dropped(), 0u);
+  EXPECT_EQ(obs.spans().size() + obs.spans_dropped(), kTotal);
+  uint64_t dropped_before = obs.spans_dropped();
+  obs.RecordSpan(obs::Span{"late", 0, 0, 0, 1});
+  EXPECT_EQ(obs.spans_dropped(), dropped_before + 1);
 }
 
 // --- Exporter round trip --------------------------------------------------------

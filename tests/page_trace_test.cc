@@ -1,0 +1,312 @@
+// Tests for the page-forensics layer (src/obs/page_trace.h) and the epoch
+// sampler (src/obs/timeseries.h): detector semantics on synthetic event
+// streams, bounded-storage drop accounting, observer chaining, and epoch
+// sampling against a real machine run.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/mem/access_observer.h"
+#include "src/mem/trace.h"
+#include "src/obs/json.h"
+#include "src/obs/page_trace.h"
+#include "src/obs/timeseries.h"
+#include "src/runtime/shared_array.h"
+#include "src/runtime/zone_allocator.h"
+#include "src/sim/time.h"
+#include "tests/test_util.h"
+
+namespace platinum {
+namespace {
+
+using obs::EpochSampler;
+using obs::EpochSamplerOptions;
+using obs::PageTrace;
+using obs::PageTraceOptions;
+using test::TestSystem;
+
+mem::TraceEvent Event(mem::TraceEventType type, uint32_t cpage, int16_t processor,
+                      uint32_t detail = 0, sim::SimTime time = 0) {
+  return mem::TraceEvent{time, type, cpage, processor, detail, /*thread=*/0};
+}
+
+mem::TraceEvent WriteFault(uint32_t cpage, int16_t processor, sim::SimTime time = 0) {
+  return Event(mem::TraceEventType::kFault, cpage, processor, /*detail=*/1, time);
+}
+
+mem::TraceEvent ReadFault(uint32_t cpage, int16_t processor, sim::SimTime time = 0) {
+  return Event(mem::TraceEventType::kFault, cpage, processor, /*detail=*/0, time);
+}
+
+// --- Ping-pong ---------------------------------------------------------------
+
+TEST(PageTraceTest, PingPongCountsWriteInvalidateAlternations) {
+  PageTrace pt;  // default threshold: 3 alternations
+  // Writers 0,1,0,1: three writer changes, each one a write-invalidate.
+  pt.OnPageEvent(WriteFault(5, 0));
+  pt.OnPageEvent(WriteFault(5, 1));
+  pt.OnPageEvent(WriteFault(5, 0));
+  ASSERT_NE(pt.rollup(5), nullptr);
+  EXPECT_EQ(pt.rollup(5)->write_alternations, 2u);
+  EXPECT_FALSE(pt.IsPingPong(*pt.rollup(5)));
+  pt.OnPageEvent(WriteFault(5, 1));
+  EXPECT_EQ(pt.rollup(5)->write_alternations, 3u);
+  EXPECT_TRUE(pt.IsPingPong(*pt.rollup(5)));
+  EXPECT_EQ(pt.FlaggedPingPong(), (std::vector<uint32_t>{5}));
+}
+
+TEST(PageTraceTest, NPartyRotationAlsoPingPongs) {
+  // A,B,C,D never returns to a previous writer, but every write still
+  // invalidates the one before it — the false-sharing cost is identical.
+  PageTrace pt;
+  for (int16_t p : {0, 1, 2, 3}) {
+    pt.OnPageEvent(WriteFault(9, p));
+  }
+  EXPECT_EQ(pt.rollup(9)->write_alternations, 3u);
+  EXPECT_TRUE(pt.IsPingPong(*pt.rollup(9)));
+}
+
+TEST(PageTraceTest, SingleWriterAndReadFaultsDoNotPingPong) {
+  PageTrace pt;
+  for (int i = 0; i < 10; ++i) {
+    pt.OnPageEvent(WriteFault(2, /*processor=*/0));  // same writer every time
+    pt.OnPageEvent(ReadFault(3, static_cast<int16_t>(i % 4)));  // reads never alternate
+  }
+  EXPECT_EQ(pt.rollup(2)->write_alternations, 0u);
+  EXPECT_EQ(pt.rollup(3)->write_alternations, 0u);
+  EXPECT_EQ(pt.rollup(3)->read_faults, 10u);
+  EXPECT_TRUE(pt.FlaggedPingPong().empty());
+}
+
+// --- Freeze churn ------------------------------------------------------------
+
+TEST(PageTraceTest, FreezeChurnCountsCompletedCycles) {
+  PageTrace pt;  // default threshold: 2 completed cycles
+  pt.OnPageEvent(Event(mem::TraceEventType::kFreeze, 7, 0));
+  pt.OnPageEvent(Event(mem::TraceEventType::kThaw, 7, 0));
+  EXPECT_EQ(pt.rollup(7)->freeze_cycles, 1u);
+  EXPECT_FALSE(pt.IsFreezeChurn(*pt.rollup(7)));
+  pt.OnPageEvent(Event(mem::TraceEventType::kFreeze, 7, 1));
+  // An open freeze is not yet a cycle.
+  EXPECT_EQ(pt.rollup(7)->freeze_cycles, 1u);
+  pt.OnPageEvent(Event(mem::TraceEventType::kThaw, 7, 1));
+  EXPECT_EQ(pt.rollup(7)->freeze_cycles, 2u);
+  EXPECT_TRUE(pt.IsFreezeChurn(*pt.rollup(7)));
+  EXPECT_EQ(pt.FlaggedFreezeChurn(), (std::vector<uint32_t>{7}));
+}
+
+TEST(PageTraceTest, ThawWithoutFreezeIsNotACycle) {
+  PageTrace pt;
+  pt.OnPageEvent(Event(mem::TraceEventType::kThaw, 4, 0));
+  pt.OnPageEvent(Event(mem::TraceEventType::kThaw, 4, 0));
+  EXPECT_EQ(pt.rollup(4)->freeze_cycles, 0u);
+  EXPECT_EQ(pt.rollup(4)->thaws, 2u);
+}
+
+// --- Replication waste -------------------------------------------------------
+
+mem::MemoryAccess Read(uint32_t as_id, uint32_t vpn, int processor) {
+  mem::MemoryAccess access;
+  access.as_id = as_id;
+  access.vpn = vpn;
+  access.is_write = false;
+  access.processor = processor;
+  return access;
+}
+
+TEST(PageTraceTest, ReplicaFreedAfterOnlyItsFaultingReadIsWaste) {
+  PageTrace pt;
+  pt.OnPageBind(/*as_id=*/0, /*vpn=*/3, /*cpage=*/7);
+  // Processor 2 read-faults; the protocol replicates onto module 1 and the
+  // faulting read lands on the new copy.
+  pt.OnPageEvent(ReadFault(7, 2));
+  pt.OnPageEvent(Event(mem::TraceEventType::kReplicate, 7, 2, /*detail=*/1));
+  pt.OnMemoryAccess(Read(0, 3, 2));
+  // Invalidated before any independent read: the copy never paid off.
+  pt.OnPageEvent(Event(mem::TraceEventType::kPageFree, 7, 0, /*detail=*/1));
+  EXPECT_EQ(pt.rollup(7)->replicas_created, 1u);
+  EXPECT_EQ(pt.rollup(7)->replicas_wasted, 1u);
+  EXPECT_TRUE(pt.IsReplicationWaste(*pt.rollup(7)));
+  EXPECT_EQ(pt.FlaggedReplicationWaste(), (std::vector<uint32_t>{7}));
+}
+
+TEST(PageTraceTest, ReplicaWithIndependentReadsIsNotWaste) {
+  PageTrace pt;
+  pt.OnPageBind(0, 3, 7);
+  pt.OnPageEvent(ReadFault(7, 2));
+  pt.OnPageEvent(Event(mem::TraceEventType::kReplicate, 7, 2, /*detail=*/1));
+  pt.OnMemoryAccess(Read(0, 3, 2));  // the faulting read
+  pt.OnMemoryAccess(Read(0, 3, 2));  // a read the replica actually served
+  pt.OnPageEvent(Event(mem::TraceEventType::kPageFree, 7, 0, /*detail=*/1));
+  EXPECT_EQ(pt.rollup(7)->replicas_wasted, 0u);
+  EXPECT_FALSE(pt.IsReplicationWaste(*pt.rollup(7)));
+}
+
+TEST(PageTraceTest, UnbindStopsReadAttribution) {
+  PageTrace pt;
+  pt.OnPageBind(0, 3, 7);
+  pt.OnPageEvent(Event(mem::TraceEventType::kReplicate, 7, 2, /*detail=*/1));
+  pt.OnPageUnbind(0, 3, 7);
+  pt.OnMemoryAccess(Read(0, 3, 2));  // no longer maps to cpage 7
+  pt.OnPageEvent(Event(mem::TraceEventType::kPageFree, 7, 0, /*detail=*/1));
+  EXPECT_EQ(pt.rollup(7)->replicas_wasted, 1u);
+}
+
+// --- Bounded storage ---------------------------------------------------------
+
+TEST(PageTraceTest, RingIsBoundedAndDropCounted) {
+  PageTraceOptions options;
+  options.ring_capacity = 4;
+  PageTrace pt(options);
+  for (uint32_t i = 0; i < 10; ++i) {
+    pt.OnPageEvent(WriteFault(i, 0, /*time=*/i));
+  }
+  EXPECT_EQ(pt.events_seen(), 10u);
+  EXPECT_EQ(pt.ring().recorded(), 10u);
+  EXPECT_EQ(pt.ring().dropped(), 6u);
+  EXPECT_EQ(pt.ring().Snapshot().size(), 4u);
+  // Rollups are unaffected by ring wraparound.
+  EXPECT_EQ(pt.pages_tracked(), 10u);
+}
+
+TEST(PageTraceTest, PagesBeyondMaxPagesAreDropCounted) {
+  PageTraceOptions options;
+  options.max_pages = 4;
+  PageTrace pt(options);
+  pt.OnPageEvent(WriteFault(3, 0));   // in bounds
+  pt.OnPageEvent(WriteFault(10, 0));  // beyond the bound
+  pt.OnPageEvent(WriteFault(10, 1));
+  EXPECT_EQ(pt.rollups_dropped(), 2u);
+  EXPECT_EQ(pt.rollup(10), nullptr);
+  ASSERT_NE(pt.rollup(3), nullptr);
+  EXPECT_EQ(pt.pages_tracked(), 1u);
+  // The raw events still reach the ring.
+  EXPECT_EQ(pt.ring().recorded(), 3u);
+}
+
+// --- Observer chaining -------------------------------------------------------
+
+struct CountingObserver : mem::AccessObserver {
+  uint64_t calls = 0;
+  void OnMemoryAccess(const mem::MemoryAccess& access) override {
+    (void)access;
+    ++calls;
+  }
+};
+
+TEST(PageTraceTest, ForwardsAccessesToChainedObserver) {
+  PageTrace pt;
+  CountingObserver next;
+  pt.set_next_access_observer(&next);
+  pt.OnMemoryAccess(Read(0, 0, 0));
+  mem::MemoryAccess write = Read(0, 0, 1);
+  write.is_write = true;
+  pt.OnMemoryAccess(write);
+  EXPECT_EQ(pt.accesses_seen(), 2u);
+  EXPECT_EQ(next.calls, 2u);
+}
+
+// --- Report ------------------------------------------------------------------
+
+TEST(PageTraceTest, ToJsonIsValidAndDeterministic) {
+  PageTraceOptions options;
+  options.top_k = 2;
+  options.timeline_events_per_page = 2;
+  PageTrace pt(options);
+  for (int round = 0; round < 3; ++round) {
+    pt.OnPageEvent(WriteFault(1, static_cast<int16_t>(round % 2), /*time=*/round * 10));
+    pt.OnPageEvent(ReadFault(2, 0, /*time=*/round * 10 + 5));
+  }
+  pt.OnPageEvent(ReadFault(3, 1, /*time=*/100));  // falls outside top_k=2
+  std::string json = pt.ToJson();
+  EXPECT_TRUE(obs::CheckJsonBalanced(json));
+  for (const char* key : {"schema", "flagged", "ping_pong", "top_pages", "timeline",
+                          "rollups_dropped", "ring", "thresholds"}) {
+    EXPECT_TRUE(obs::CheckJsonHasKey(json, key)) << "missing key " << key;
+  }
+  EXPECT_NE(json.find("platinum-page-forensics-v1"), std::string::npos);
+  // Page 1 (3 faults) ranks first; the 3-event timeline is trimmed to 2.
+  EXPECT_NE(json.find("\"timeline_truncated\":true"), std::string::npos);
+  EXPECT_EQ(json, pt.ToJson());  // a report is a pure function of the stream
+}
+
+// --- Epoch sampler -----------------------------------------------------------
+
+TEST(EpochSamplerTest, ClosesEveryBoundaryCrossedByOneAdvance) {
+  TestSystem sys(2);
+  EpochSamplerOptions options;
+  options.epoch_ns = 10 * sim::kMillisecond;
+  EpochSampler sampler(&sys.machine, options);
+  sys.machine.scheduler().SetTimeObserver(&sampler);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  sys.kernel.SpawnThread(space, 0, "sleeper", [&] {
+    // One long sleep jumps global time across three boundaries at once;
+    // the sampler must close each of them (catch-up loop).
+    sys.machine.scheduler().Sleep(35 * sim::kMillisecond);
+  });
+  sys.kernel.Run();
+  sampler.Finalize();
+  const std::vector<EpochSampler::Sample>& samples = sampler.samples();
+  ASSERT_GE(samples.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(samples[i].end_ns, (i + 1) * 10 * sim::kMillisecond);
+  }
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GT(samples[i].end_ns, samples[i - 1].end_ns);
+    // Snapshots are cumulative, so every counter is monotone.
+    EXPECT_GE(samples[i].stats.faults, samples[i - 1].stats.faults);
+  }
+  std::string json = sampler.ToJson();
+  EXPECT_TRUE(obs::CheckJsonBalanced(json));
+  EXPECT_TRUE(obs::CheckJsonHasKey(json, "epochs"));
+  EXPECT_NE(json.find("platinum-timeseries-v1"), std::string::npos);
+  EXPECT_EQ(json, sampler.ToJson());
+}
+
+TEST(EpochSamplerTest, SamplesAreBoundedAndDropCounted) {
+  TestSystem sys(2);
+  EpochSamplerOptions options;
+  options.epoch_ns = 1 * sim::kMillisecond;
+  options.max_samples = 2;
+  EpochSampler sampler(&sys.machine, options);
+  sys.machine.scheduler().SetTimeObserver(&sampler);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  sys.kernel.SpawnThread(space, 0, "sleeper", [&] {
+    sys.machine.scheduler().Sleep(10 * sim::kMillisecond);
+  });
+  sys.kernel.Run();
+  sampler.Finalize();
+  EXPECT_EQ(sampler.samples().size(), 2u);
+  EXPECT_GT(sampler.samples_dropped(), 0u);
+  std::string json = sampler.ToJson();
+  EXPECT_TRUE(obs::CheckJsonBalanced(json));
+  EXPECT_NE(json.find("\"samples_dropped\":"), std::string::npos);
+}
+
+TEST(EpochSamplerTest, SamplesRealFaultActivityIntoEpochDeltas) {
+  TestSystem sys(2);
+  EpochSamplerOptions options;
+  options.epoch_ns = 1 * sim::kMillisecond;
+  EpochSampler sampler(&sys.machine, options);
+  sys.machine.scheduler().SetTimeObserver(&sampler);
+  auto* space = sys.kernel.CreateAddressSpace("s");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  auto arr = rt::SharedArray<uint32_t>::Create(zone, "data", 64);
+  sys.kernel.SpawnThread(space, 0, "writer", [&] {
+    for (size_t i = 0; i < 64; ++i) {
+      arr.Set(i, static_cast<uint32_t>(i));
+    }
+    sys.machine.scheduler().Sleep(2 * sim::kMillisecond);
+  });
+  sys.kernel.Run();
+  sampler.Finalize();
+  ASSERT_GE(sampler.samples().size(), 1u);
+  const EpochSampler::Sample& last = sampler.samples().back();
+  EXPECT_GT(last.stats.faults, 0u);
+  ASSERT_EQ(last.cpu_faults.size(), 2u);
+  EXPECT_EQ(last.cpu_faults[0] + last.cpu_faults[1], last.stats.faults);
+}
+
+}  // namespace
+}  // namespace platinum

@@ -68,7 +68,9 @@ TEST(SchedulerTest, SameProcessorFibersSerialize) {
   // Two fibers on one processor, each consuming 50us of CPU; total elapsed
   // must be at least 100us even though both start at t=0.
   for (int i = 0; i < 2; ++i) {
-    sched.Spawn(0, "f" + std::to_string(i), [&] { sched.Advance(50 * kMicrosecond); });
+    std::string name = "f";
+    name += std::to_string(i);
+    sched.Spawn(0, name, [&] { sched.Advance(50 * kMicrosecond); });
   }
   sched.Run();
   EXPECT_EQ(sched.global_now(), 100 * kMicrosecond);
@@ -77,7 +79,9 @@ TEST(SchedulerTest, SameProcessorFibersSerialize) {
 TEST(SchedulerTest, DifferentProcessorsRunInParallel) {
   Scheduler sched(2, kQuantum, kStack);
   for (int i = 0; i < 2; ++i) {
-    sched.Spawn(i, "f" + std::to_string(i), [&] { sched.Advance(50 * kMicrosecond); });
+    std::string name = "f";
+    name += std::to_string(i);
+    sched.Spawn(i, name, [&] { sched.Advance(50 * kMicrosecond); });
   }
   sched.Run();
   EXPECT_EQ(sched.global_now(), 50 * kMicrosecond);

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Compare two platinum-bench-report-v1 documents and gate on regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [--max-regression FRAC]
+    bench_compare.py --selftest
+
+The gate enforces two properties, mirroring docs/PERFORMANCE.md:
+
+  * throughput: candidate accesses_per_sec (totals and per-bench, for every
+    bench that reports it in both files) must be at least
+    baseline * (1 - max_regression). Host throughput is noisy, so the
+    threshold is a fraction, not equality.
+  * simulated time: sim_seconds must match EXACTLY (totals and per-bench).
+    The simulator is deterministic; any sim_seconds drift means simulated
+    behavior changed, which is a different bug than a slow host.
+
+The two reports must describe the same configuration (host.small/host.full);
+comparing a small run against a full run is a usage error (exit 2).
+
+Exit codes: 0 ok, 1 regression or sim mismatch, 2 usage/config error.
+
+--selftest verifies the gate actually fires: a synthetic 2x throughput
+regression and a synthetic sim_seconds drift must both fail, and an
+identical pair must pass.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+DEFAULT_MAX_REGRESSION = 0.10
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "platinum-bench-report-v1":
+        raise SystemExit(f"error: {path} is not a platinum-bench-report-v1 document")
+    return doc
+
+
+def compare(base, cand, max_regression):
+    """Returns a list of human-readable failure strings (empty = pass)."""
+    failures = []
+    floor = 1.0 - max_regression
+
+    def check_throughput(label, b, c):
+        if b <= 0:
+            return
+        if c < b * floor:
+            failures.append(
+                f"{label}: accesses_per_sec regressed {b:.0f} -> {c:.0f} "
+                f"({c / b - 1.0:+.1%}, allowed {-max_regression:.0%})"
+            )
+
+    def check_sim(label, b, c):
+        if b != c:
+            failures.append(f"{label}: sim_seconds changed {b!r} -> {c!r} (must match exactly)")
+
+    bt, ct = base.get("totals", {}), cand.get("totals", {})
+    if "accesses_per_sec" in bt and "accesses_per_sec" in ct:
+        check_throughput("totals", bt["accesses_per_sec"], ct["accesses_per_sec"])
+    if "sim_seconds" in bt and "sim_seconds" in ct:
+        check_sim("totals", bt["sim_seconds"], ct["sim_seconds"])
+
+    benches = sorted(set(base.get("benches", {})) & set(cand.get("benches", {})))
+    for name in benches:
+        b, c = base["benches"][name], cand["benches"][name]
+        if "accesses_per_sec" in b and "accesses_per_sec" in c:
+            check_throughput(name, b["accesses_per_sec"], c["accesses_per_sec"])
+        if "sim_seconds" in b and "sim_seconds" in c:
+            check_sim(name, b["sim_seconds"], c["sim_seconds"])
+    return failures
+
+
+def config_mismatch(base, cand):
+    bh, ch = base.get("host", {}), cand.get("host", {})
+    for key in ("small", "full"):
+        if bh.get(key) != ch.get(key):
+            return f"host.{key} differs ({bh.get(key)!r} vs {ch.get(key)!r})"
+    return None
+
+
+def selftest():
+    base = {
+        "schema": "platinum-bench-report-v1",
+        "host": {"small": False, "full": False},
+        "benches": {
+            "abl_policy": {"accesses_per_sec": 4.0e6, "sim_seconds": 10.0},
+            "lat_faults": {"host_seconds": 0.5},
+        },
+        "totals": {"accesses_per_sec": 4.0e6, "sim_seconds": 10.0},
+    }
+
+    identical = copy.deepcopy(base)
+    if compare(base, identical, DEFAULT_MAX_REGRESSION):
+        print("selftest FAILED: identical reports did not pass")
+        return 1
+
+    slow = copy.deepcopy(base)
+    slow["totals"]["accesses_per_sec"] *= 0.5
+    slow["benches"]["abl_policy"]["accesses_per_sec"] *= 0.5
+    failures = compare(base, slow, DEFAULT_MAX_REGRESSION)
+    if len(failures) != 2:
+        print(f"selftest FAILED: 2x throughput regression not caught ({failures})")
+        return 1
+
+    drift = copy.deepcopy(base)
+    drift["totals"]["sim_seconds"] += 1e-6
+    failures = compare(base, drift, DEFAULT_MAX_REGRESSION)
+    if not any("sim_seconds" in f for f in failures):
+        print(f"selftest FAILED: sim_seconds drift not caught ({failures})")
+        return 1
+
+    borderline = copy.deepcopy(base)
+    borderline["totals"]["accesses_per_sec"] *= 0.95
+    if compare(base, borderline, DEFAULT_MAX_REGRESSION):
+        print("selftest FAILED: -5% flagged at a 10% threshold")
+        return 1
+
+    print("selftest OK: gate fires on injected regression and sim drift")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", help="baseline BENCH_PR*.json")
+    parser.add_argument("candidate", nargs="?", help="candidate BENCH_PR*.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help="allowed fractional accesses_per_sec drop (default %(default)s)",
+    )
+    parser.add_argument("--selftest", action="store_true", help="verify the gate fires")
+    args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if not args.baseline or not args.candidate:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    base, cand = load(args.baseline), load(args.candidate)
+    mismatch = config_mismatch(base, cand)
+    if mismatch:
+        print(f"error: reports are not comparable: {mismatch}", file=sys.stderr)
+        return 2
+
+    failures = compare(base, cand, args.max_regression)
+    if failures:
+        print(f"bench_compare: {args.candidate} vs {args.baseline}: FAIL")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"bench_compare: {args.candidate} vs {args.baseline}: OK "
+          f"(threshold {args.max_regression:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

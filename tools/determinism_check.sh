@@ -1,37 +1,53 @@
 #!/usr/bin/env bash
-# Determinism regression: two identical platsim invocations must produce
-# byte-identical stdout and byte-identical stats JSON. Catches wall-clock
-# time, ambient randomness, hash-order iteration, or uninitialized reads
-# leaking into the simulation.
+# Determinism regression: identical platsim invocations must produce
+# byte-identical stdout and byte-identical JSON artifacts — the machine
+# stats, the page-forensics report, and the epoch time-series. Catches
+# wall-clock time, ambient randomness, hash-order iteration, or
+# uninitialized reads leaking into the simulation or its telemetry.
+#
+# The second run of each scenario executes with PLATINUM_BENCH_WORKERS=4
+# in the environment: bench parallelism knobs must never reach the
+# simulator, so the artifacts still have to match byte-for-byte.
 set -euo pipefail
 
 PLATSIM="${1:?usage: determinism_check.sh <path-to-platsim>}"
+PLATSIM="$(cd "$(dirname "$PLATSIM")" && pwd)/$(basename "$PLATSIM")"
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 
+ARTIFACTS=(stdout.txt stats.json pages.json ts.json)
+
 run() {
-  local tag="$1"
+  local scenario="$1" tag="$2"
+  shift 2
   # Identical invocations: run from inside per-run directories so the JSON
-  # path (which platsim echoes to stdout) is the same relative name in both.
-  mkdir -p "$workdir/$tag"
-  (cd "$workdir/$tag" &&
-   "$PLATSIM" gauss --procs=4 --n=48 --check-invariants \
-       --stats-json=stats.json --report > stdout.txt)
+  # paths (which platsim echoes to stdout) are the same relative names.
+  mkdir -p "$workdir/$scenario/$tag"
+  (cd "$workdir/$scenario/$tag" &&
+   "$PLATSIM" "$@" --check-invariants --report \
+       --stats-json=stats.json \
+       --page-report=pages.json --topk-pages=8 \
+       --timeseries-json=ts.json --epoch-ms=5 > stdout.txt)
 }
 
-run a
-run b
+check() {
+  local scenario="$1"
+  shift
+  run "$scenario" a "$@"
+  PLATINUM_BENCH_WORKERS=4 run "$scenario" b "$@"
+  for f in "${ARTIFACTS[@]}"; do
+    if ! cmp -s "$workdir/$scenario/a/$f" "$workdir/$scenario/b/$f"; then
+      echo "determinism_check: $scenario: $f differs between identical runs" >&2
+      diff "$workdir/$scenario/a/$f" "$workdir/$scenario/b/$f" >&2 || true
+      exit 1
+    fi
+  done
+  echo "determinism_check: $scenario: ${#ARTIFACTS[@]} artifacts byte-identical" \
+       "($(wc -c < "$workdir/$scenario/a/pages.json") bytes of page forensics," \
+       "$(wc -c < "$workdir/$scenario/a/ts.json") bytes of time-series)"
+}
 
-if ! cmp -s "$workdir/a/stdout.txt" "$workdir/b/stdout.txt"; then
-  echo "determinism_check: stdout differs between identical runs" >&2
-  diff "$workdir/a/stdout.txt" "$workdir/b/stdout.txt" >&2 || true
-  exit 1
-fi
-if ! cmp -s "$workdir/a/stats.json" "$workdir/b/stats.json"; then
-  echo "determinism_check: stats JSON differs between identical runs" >&2
-  diff "$workdir/a/stats.json" "$workdir/b/stats.json" >&2 || true
-  exit 1
-fi
-echo "determinism_check: two runs byte-identical " \
-     "($(wc -c < "$workdir/a/stats.json") bytes of stats JSON)"
+check gauss gauss --procs=4 --n=48
+check sort sort --procs=4 --count=8192
+echo "determinism_check: all scenarios byte-identical"

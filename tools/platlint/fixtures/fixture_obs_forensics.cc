@@ -1,0 +1,14 @@
+// platlint fixture: must trigger the layering rule.
+// platlint-fixture-as: src/obs/fixture_obs_forensics.cc
+// platlint-fixture-rule: layering
+//
+// The page-forensics layer may consume only the coherent-memory hook headers
+// (trace.h, page_event.h, access_observer.h, via the HOOK_HEADERS allowance);
+// including coherent_memory.h itself reaches into protocol internals.
+#include "src/mem/coherent_memory.h"
+
+namespace platinum::obs {
+
+uint64_t FixtureFaults(mem::CoherentMemory& memory) { return memory.stats().faults; }
+
+}  // namespace platinum::obs

@@ -159,6 +159,22 @@ class LayeringRule(Rule):
         "src/kernel/kernel.cc": {"check"},
     }
 
+    # The coherent-memory hook API, and the forensic layer consuming it.
+    # Unlike EXCEPTIONS this allowance is header-granular: the page-forensics
+    # consumer may include exactly the hook headers (event types + observer
+    # interfaces) and nothing else from src/mem — protocol transitions arrive
+    # through mem::PageEventSink / mem::AccessObserver, never by reaching
+    # into coherent-memory internals.
+    HOOK_HEADERS = {
+        "src/mem/access_observer.h",
+        "src/mem/page_event.h",
+        "src/mem/trace.h",
+    }
+    HOOK_CONSUMERS = {
+        "src/obs/page_trace.cc",
+        "src/obs/page_trace.h",
+    }
+
     def run(self, model: RepoModel) -> list[Finding]:
         out = []
         for path, sf in sorted(model.files.items()):
@@ -176,6 +192,8 @@ class LayeringRule(Rule):
                 continue
             allowed = allowed | {src_dir, "base"} | self.EXCEPTIONS.get(path, set())
             for line, inc in sf.includes:
+                if path in self.HOOK_CONSUMERS and inc in self.HOOK_HEADERS:
+                    continue
                 inc_dir = inc.split("/")[1]
                 if inc_dir not in allowed:
                     out.append(Finding(
