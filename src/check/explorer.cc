@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -139,6 +140,30 @@ std::vector<bool> FrozenFlags(System& sys, const ExplorerConfig& config) {
   return frozen;
 }
 
+std::vector<mem::CpageState> PageStates(System& sys, const ExplorerConfig& config) {
+  std::vector<mem::CpageState> states(static_cast<size_t>(config.pages));
+  mem::CoherentMemory& memory = sys.kernel->memory();
+  mem::Cmap& cm = memory.cmap(sys.space->id());
+  for (int page = 0; page < config.pages; ++page) {
+    const mem::CmapEntry& entry = cm.entry(static_cast<uint32_t>(page));
+    states[static_cast<size_t>(page)] = memory.cpages().at(entry.cpage).state();
+  }
+  return states;
+}
+
+mem::ProtocolTrigger TriggerOf(Event::Kind kind) {
+  switch (kind) {
+    case Event::Kind::kRead:
+      return mem::ProtocolTrigger::kRead;
+    case Event::Kind::kWrite:
+      return mem::ProtocolTrigger::kWrite;
+    case Event::Kind::kThaw:
+      return mem::ProtocolTrigger::kThaw;
+  }
+  PLAT_CHECK(false) << "unreachable";
+  return mem::ProtocolTrigger::kRead;
+}
+
 }  // namespace
 
 std::string ExplorerResult::Summary() const {
@@ -159,13 +184,21 @@ ExplorerResult ExploreProtocol(const ExplorerConfig& config) {
   struct Node {
     std::vector<Event> path;    // shortest event sequence reaching the state
     std::vector<bool> frozen;   // per-page frozen flag (prunes thaw events)
+    std::vector<mem::CpageState> states;  // per-page state (edge recording)
   };
 
   ExplorerResult result;
   // std::map keeps the visited set's behavior independent of hash order.
   std::map<std::string, uint64_t> visited;
   std::deque<Node> frontier;
+  std::set<mem::ProtocolEdge> edges;
   bool truncated = false;
+
+  auto note_states = [&result](const std::vector<mem::CpageState>& states) {
+    for (mem::CpageState s : states) {
+      result.state_mask_seen |= 1u << static_cast<unsigned>(s);
+    }
+  };
 
   auto replay = [&config](const std::vector<Event>& path) {
     System sys = Boot(config);
@@ -181,7 +214,9 @@ ExplorerResult ExploreProtocol(const ExplorerConfig& config) {
     visited.emplace(Abstract(sys, config), 0);
     result.states_visited = 1;
     result.oracle_checks += sys.oracle->transitions_checked();
-    frontier.push_back(Node{{}, FrozenFlags(sys, config)});
+    std::vector<mem::CpageState> states = PageStates(sys, config);
+    note_states(states);
+    frontier.push_back(Node{{}, FrozenFlags(sys, config), std::move(states)});
   }
 
   while (!frontier.empty()) {
@@ -211,14 +246,34 @@ ExplorerResult ExploreProtocol(const ExplorerConfig& config) {
       System sys = replay(path);
       ++result.transitions_explored;
       result.oracle_checks += sys.oracle->transitions_checked();
+      // Record the (trigger, from, to) edge of every page the event moved
+      // (plus the target page's self-edge) and hold it against the spec —
+      // the explorer, the oracle, and the implementation share one table.
+      std::vector<mem::CpageState> states = PageStates(sys, config);
+      note_states(states);
+      mem::ProtocolTrigger trigger = TriggerOf(event.kind);
+      for (int page = 0; page < config.pages; ++page) {
+        mem::CpageState from = node.states[static_cast<size_t>(page)];
+        mem::CpageState to = states[static_cast<size_t>(page)];
+        if (from == to && page != event.page) {
+          continue;
+        }
+        PLAT_CHECK(mem::ProtocolAllowsEdge(trigger, from, to))
+            << "explored an edge outside the protocol spec: page " << page << " moved "
+            << mem::CpageStateName(from) << " -> " << mem::CpageStateName(to) << " under '"
+            << mem::ProtocolTriggerName(trigger) << "'";
+        edges.insert(mem::ProtocolEdge{trigger, from, to});
+      }
       std::string abstract = Abstract(sys, config);
       if (visited.emplace(std::move(abstract), result.states_visited).second) {
         ++result.states_visited;
-        frontier.push_back(Node{std::move(path), FrozenFlags(sys, config)});
+        frontier.push_back(
+            Node{std::move(path), FrozenFlags(sys, config), std::move(states)});
       }
     }
   }
 
+  result.observed_edges.assign(edges.begin(), edges.end());
   result.exhaustive = !truncated;
   return result;
 }

@@ -19,8 +19,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/mem/policy.h"
+#include "src/mem/protocol_spec.h"
 
 namespace platinum::check {
 
@@ -44,6 +46,13 @@ struct ExplorerResult {
   uint64_t oracle_checks = 0;         // protocol transitions checked in replays
   int max_depth_reached = 0;
   bool exhaustive = false;
+  // Deduplicated (trigger, from, to) edges of the explored pages, sorted;
+  // self-edges of the event's target page are recorded too. Each edge was
+  // checked against the protocol spec (src/mem/protocol_spec.json) as it
+  // was replayed — an edge outside the spec aborts the exploration.
+  std::vector<mem::ProtocolEdge> observed_edges;
+  // Bit i set iff mem::CpageState(i) appeared in some visited state.
+  uint32_t state_mask_seen = 0;
 
   std::string Summary() const;
 };

@@ -14,12 +14,23 @@
 // directory update that follows it) are deliberately not checked: the hook
 // fires only when a top-level transition has completed, mirroring when the
 // per-Cpage handler lock would be released on the real machine.
+//
+// In addition to the structural invariants, the oracle validates every
+// per-page state *change* between consecutive hook firings against the
+// machine-readable protocol spec (src/mem/protocol_spec.json, via
+// mem::ProtocolAllowsEdge): a page may only move along a (trigger, from,
+// to) row the spec declares for the transition that just completed. The
+// implementation, this oracle, and the bounded explorer all consume the
+// same generated table, so a transition added to the code without a spec
+// row aborts here.
 #ifndef SRC_CHECK_ORACLE_H_
 #define SRC_CHECK_ORACLE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/mem/coherent_memory.h"
+#include "src/mem/protocol_spec.h"
 
 namespace platinum::check {
 
@@ -39,8 +50,15 @@ class InvariantOracle {
   uint64_t transitions_checked() const { return transitions_checked_; }
 
  private:
+  // Diffs the per-page states against the shadow copy and checks every
+  // changed page's edge against the spec row set of `transition`'s trigger.
+  void CheckTransitionEdges(const char* transition);
+
   mem::CoherentMemory* memory_;
   uint64_t transitions_checked_ = 0;
+  // Per-page state as of the previous hook firing (pages created since are
+  // empty, their creation state).
+  std::vector<mem::CpageState> shadow_states_;
 };
 
 }  // namespace platinum::check

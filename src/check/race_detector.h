@@ -37,6 +37,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/base/thread_annotations.h"
 #include "src/mem/access_observer.h"
 #include "src/sim/time.h"
 
@@ -147,19 +148,21 @@ class RaceDetector final : public mem::AccessObserver {
   void Report(const mem::MemoryAccess& access, WordState& word, uint32_t prior_slot,
               bool prior_is_write, sim::SimTime prior_time);
 
-  ZoneResolver zone_resolver_;
-  std::vector<VectorClock> clocks_;  // indexed by slot
+  // Detector state is updated from the access hook of whichever fiber ran;
+  // safe without a lock because fibers never preempt inside a hook.
+  ZoneResolver zone_resolver_ PLATINUM_FIBER_SHARED;
+  std::vector<VectorClock> clocks_ PLATINUM_FIBER_SHARED;  // indexed by slot
   // Keyed by packed (as, vpn, word); never iterated, so the hash order
   // cannot leak into any output.
-  std::unordered_map<uint64_t, WordState> words_;
-  std::unordered_map<uint64_t, VectorClock> sync_clocks_;
-  std::unordered_set<uint64_t> intentional_;
+  std::unordered_map<uint64_t, WordState> words_ PLATINUM_FIBER_SHARED;
+  std::unordered_map<uint64_t, VectorClock> sync_clocks_ PLATINUM_FIBER_SHARED;
+  std::unordered_set<uint64_t> intentional_ PLATINUM_FIBER_SHARED;
 
-  std::vector<RaceReport> reports_;
-  uint64_t races_found_ = 0;
-  uint64_t accesses_checked_ = 0;
-  uint64_t sync_accesses_ = 0;
-  uint64_t annotated_accesses_ = 0;
+  std::vector<RaceReport> reports_ PLATINUM_FIBER_SHARED;
+  uint64_t races_found_ PLATINUM_FIBER_SHARED = 0;
+  uint64_t accesses_checked_ PLATINUM_FIBER_SHARED = 0;
+  uint64_t sync_accesses_ PLATINUM_FIBER_SHARED = 0;
+  uint64_t annotated_accesses_ PLATINUM_FIBER_SHARED = 0;
 };
 
 }  // namespace platinum::check

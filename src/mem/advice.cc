@@ -51,7 +51,7 @@ void CoherentMemory::PinTo(uint32_t as_id, uint32_t vpn, int node) {
     std::memset(machine_->module(copy->module).FrameData(copy->frame), 0,
                 machine_->params().page_size_bytes);
     page.AddCopy(*copy);
-    page.SetState(CpageState::kPresent1);
+    page.SetState(CpageState::kPresent1);  // protocol: pin-fill empty -> present1
     ++machine_->stats().initial_fills;
   } else if (!page.HasCopyOn(node)) {
     // Move the data: invalidate every translation, copy to the target,
@@ -72,6 +72,7 @@ void CoherentMemory::PinTo(uint32_t as_id, uint32_t vpn, int node) {
     }
     page.AddCopy(*copy);
     page.ClearWriteMappings();
+    // protocol: pin-migrate present1|present+|modified -> present1
     page.SetState(CpageState::kPresent1);
     ++page.stats().migrations;
     ++machine_->stats().migrations;
@@ -93,7 +94,7 @@ void CoherentMemory::PinTo(uint32_t as_id, uint32_t vpn, int node) {
       FreeCopy(page, module);
     }
     if (page.write_mappings() == 0 && page.state() == CpageState::kPresentPlus) {
-      page.SetState(CpageState::kPresent1);
+      page.SetState(CpageState::kPresent1);  // protocol: collapse present+ -> present1
     }
   }
 
@@ -134,11 +135,11 @@ void CoherentMemory::ReplicateTo(uint32_t as_id, uint32_t vpn, int node) {
     ShootdownRound round;
     RestrictCpageToRead(page, initiator, &round);
     CommitShootdown(page, round, initiator);
-    page.SetState(CpageState::kPresent1);
+    page.SetState(CpageState::kPresent1);  // protocol: restrict modified -> present1
   }
   CopyInto(page, *copy);
   page.AddCopy(*copy);
-  page.SetState(CpageState::kPresentPlus);
+  page.SetState(CpageState::kPresentPlus);  // protocol: replicate present1|present+ -> present+
   ++page.stats().replications;
   ++machine_->stats().replications;
   Trace(TraceEventType::kReplicate, page, initiator, static_cast<uint32_t>(node));

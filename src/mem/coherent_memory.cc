@@ -80,7 +80,7 @@ void CoherentMemory::UnbindPage(uint32_t as_id, uint32_t vpn) {
   }
   entry.reference_mask = 0;
   if (page.state() == CpageState::kModified && page.write_mappings() == 0) {
-    page.SetState(CpageState::kPresent1);
+    page.SetState(CpageState::kPresent1);  // protocol: unbind-downgrade modified -> present1
   }
   page.RemoveMapper(as_id, vpn);
   // Unbind can run outside any fiber (address-space teardown from the host

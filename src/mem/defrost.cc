@@ -117,7 +117,7 @@ void CoherentMemory::Thaw(uint32_t cpage_id) {
   CommitShootdown(page, round, initiator);
   PLAT_CHECK_EQ(page.write_mappings(), 0u);
   if (page.state() == CpageState::kModified) {
-    page.SetState(CpageState::kPresent1);
+    page.SetState(CpageState::kPresent1);  // protocol: thaw-downgrade modified -> present1
   }
   Unfreeze(page);
   NotifyTransition("thaw");

@@ -106,7 +106,7 @@ void CoherentMemory::HandleReadFault(Cmap& cm, CmapEntry& entry, Cpage& page, ui
   if (page.state() == CpageState::kEmpty) {
     PhysicalCopy copy = InitialFill(page, processor);
     page.AddCopy(copy);
-    page.SetState(CpageState::kPresent1);
+    page.SetState(CpageState::kPresent1);  // protocol: read-fill empty -> present1
     ++machine_->stats().initial_fills;
     ++machine_->obs().cpu(processor).initial_fills;
     Trace(TraceEventType::kFill, page, processor, static_cast<uint32_t>(copy.module));
@@ -142,11 +142,11 @@ void CoherentMemory::HandleReadFault(Cmap& cm, CmapEntry& entry, Cpage& page, ui
       ShootdownRound round;
       RestrictCpageToRead(page, processor, &round);
       CommitShootdown(page, round, processor);
-      page.SetState(CpageState::kPresent1);
+      page.SetState(CpageState::kPresent1);  // protocol: restrict modified -> present1
     }
     CopyInto(page, *frame);
     page.AddCopy(*frame);
-    page.SetState(CpageState::kPresentPlus);
+    page.SetState(CpageState::kPresentPlus);  // protocol: replicate present1|present+ -> present+
     ++page.stats().replications;
     ++machine_->stats().replications;
     ++machine_->obs().cpu(processor).replications;
@@ -175,7 +175,7 @@ void CoherentMemory::HandleWriteFault(Cmap& cm, CmapEntry& entry, Cpage& page, u
   if (page.state() == CpageState::kEmpty) {
     PhysicalCopy copy = InitialFill(page, processor);
     page.AddCopy(copy);
-    page.SetState(CpageState::kModified);
+    page.SetState(CpageState::kModified);  // protocol: write-fill empty -> modified
     ++machine_->stats().initial_fills;
     ++machine_->obs().cpu(processor).initial_fills;
     Trace(TraceEventType::kFill, page, processor, static_cast<uint32_t>(copy.module));
@@ -208,12 +208,12 @@ void CoherentMemory::HandleWriteFault(Cmap& cm, CmapEntry& entry, Cpage& page, u
       }
       page.RecordInvalidation(sched.now());
       ++page.stats().invalidation_rounds;
-      page.SetState(CpageState::kPresent1);
+      page.SetState(CpageState::kPresent1);  // protocol: collapse present+ -> present1
     }
     // present1 -> modified needs neither invalidation nor reclamation — the
     // reason the protocol distinguishes the two states (Section 3.2).
     EnterMapping(cm, entry, page, vpn, processor, local, hw::Rights::kReadWrite);
-    page.SetState(CpageState::kModified);
+    page.SetState(CpageState::kModified);  // protocol: upgrade present1|modified -> modified
     return;
   }
 
@@ -249,6 +249,7 @@ void CoherentMemory::HandleWriteFault(Cmap& cm, CmapEntry& entry, Cpage& page, u
       ++page.stats().invalidation_rounds;
     }
     page.AddCopy(*frame);
+    // protocol: migrate present1|present+|modified -> modified
     page.SetState(CpageState::kModified);
     ++page.stats().migrations;
     ++machine_->stats().migrations;
@@ -280,11 +281,11 @@ void CoherentMemory::HandleWriteFault(Cmap& cm, CmapEntry& entry, Cpage& page, u
       page.RecordInvalidation(sched.now());
       ++page.stats().invalidation_rounds;
     }
-    page.SetState(CpageState::kPresent1);
+    page.SetState(CpageState::kPresent1);  // protocol: collapse present+ -> present1
   }
   const PhysicalCopy& copy = page.PrimaryCopy();
   EnterMapping(cm, entry, page, vpn, processor, copy, hw::Rights::kReadWrite);
-  page.SetState(CpageState::kModified);
+  page.SetState(CpageState::kModified);  // protocol: upgrade present1|modified -> modified
   ++page.stats().remote_maps;
   ++machine_->stats().remote_maps;
   ++machine_->obs().cpu(processor).remote_maps;

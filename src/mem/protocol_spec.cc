@@ -1,0 +1,65 @@
+#include "src/mem/protocol_spec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/check.h"
+#include "src/mem/protocol_spec.gen.h"
+
+namespace platinum::mem {
+
+const char* ProtocolTriggerName(ProtocolTrigger trigger) {
+  int idx = static_cast<int>(trigger);
+  PLAT_CHECK_GE(idx, 0);
+  PLAT_CHECK_LT(idx, spec_gen::kNumTriggers);
+  return spec_gen::kTriggerNames[idx];
+}
+
+bool ProtocolTriggerFromTransitionName(const char* name, ProtocolTrigger* out) {
+  // NotifyTransition names predate the spec; two differ from the trigger
+  // table ("read"/"write" there, "read-fault"/"write-fault"/"replicate" here).
+  struct NameMap {
+    const char* name;
+    ProtocolTrigger trigger;
+  };
+  static constexpr NameMap kNames[] = {
+      {"read-fault", ProtocolTrigger::kRead},   {"write-fault", ProtocolTrigger::kWrite},
+      {"thaw", ProtocolTrigger::kThaw},         {"pin", ProtocolTrigger::kPin},
+      {"replicate", ProtocolTrigger::kReplicateTo}, {"unbind", ProtocolTrigger::kUnbind},
+  };
+  for (const NameMap& entry : kNames) {
+    if (std::strcmp(name, entry.name) == 0) {
+      *out = entry.trigger;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ProtocolAllowsEdge(ProtocolTrigger trigger, CpageState from, CpageState to) {
+  for (const spec_gen::EdgeRow& row : spec_gen::kEdges) {
+    if (row.trigger == static_cast<uint8_t>(trigger) &&
+        row.from == static_cast<uint8_t>(from) && row.to == static_cast<uint8_t>(to)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint32_t ProtocolReachableStateMask() { return spec_gen::kReachableStateMask; }
+
+const std::vector<ProtocolEdge>& ProtocolEdges() {
+  static const std::vector<ProtocolEdge>* edges = [] {
+    auto* out = new std::vector<ProtocolEdge>();
+    for (const spec_gen::EdgeRow& row : spec_gen::kEdges) {
+      out->push_back(ProtocolEdge{static_cast<ProtocolTrigger>(row.trigger),
+                                  static_cast<CpageState>(row.from),
+                                  static_cast<CpageState>(row.to)});
+    }
+    std::sort(out->begin(), out->end());
+    return out;
+  }();
+  return *edges;
+}
+
+}  // namespace platinum::mem

@@ -1,0 +1,73 @@
+// C++ view of the machine-readable protocol spec (protocol_spec.json).
+//
+// The JSON file is the normative transition table of the 4-state directory
+// protocol (docs/PROTOCOL.md); tools/gen_protocol_spec.py compiles it into
+// protocol_spec.gen.h, and this header wraps the generated tables in typed
+// queries. Three consumers share this one source of truth:
+//
+//   * the implementation — every Cpage::SetState site in src/mem carries a
+//     `// protocol:` annotation that platlint's protocol-conformance rule
+//     diffs against the spec's micro transitions;
+//   * the invariant oracle (src/check/oracle) — validates every per-page
+//     state change a completed transition produced against the spec's
+//     composed event rows;
+//   * the bounded explorer (src/check/explorer) — records the (trigger,
+//     from, to) edges it replays and checks each against the spec; the
+//     protocol_spec ctest proves the closed 2p/3p edge set equals the
+//     spec's reachable relation.
+#ifndef SRC_MEM_PROTOCOL_SPEC_H_
+#define SRC_MEM_PROTOCOL_SPEC_H_
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "src/mem/cpage.h"
+
+namespace platinum::mem {
+
+// External events that complete a protocol transition, in the order of the
+// spec's trigger table (and of CoherentMemory::NotifyTransition names).
+enum class ProtocolTrigger : uint8_t {
+  kRead = 0,         // "read-fault"
+  kWrite = 1,        // "write-fault"
+  kThaw = 2,         // "thaw"
+  kPin = 3,          // "pin"
+  kReplicateTo = 4,  // "replicate"
+  kUnbind = 5,       // "unbind"
+};
+
+const char* ProtocolTriggerName(ProtocolTrigger trigger);
+
+// Maps a transition-hook name (the argument of NotifyTransition) to its
+// trigger. Returns false for unknown names.
+bool ProtocolTriggerFromTransitionName(const char* name, ProtocolTrigger* out);
+
+// True iff the spec allows a page observed in `from` before the trigger to
+// be in `to` when the transition hook fires (self-edges included).
+bool ProtocolAllowsEdge(ProtocolTrigger trigger, CpageState from, CpageState to);
+
+// Bit i set iff CpageState(i) appears in some allowed transition.
+uint32_t ProtocolReachableStateMask();
+
+// One composed (trigger, from, to) row of the spec.
+struct ProtocolEdge {
+  ProtocolTrigger trigger;
+  CpageState from;
+  CpageState to;
+
+  friend bool operator==(const ProtocolEdge& a, const ProtocolEdge& b) {
+    return a.trigger == b.trigger && a.from == b.from && a.to == b.to;
+  }
+  friend bool operator<(const ProtocolEdge& a, const ProtocolEdge& b) {
+    return std::tuple(a.trigger, a.from, a.to) < std::tuple(b.trigger, b.from, b.to);
+  }
+};
+
+// All spec rows, sorted (stable across runs; the generator emits them in
+// spec order, this accessor re-sorts for set comparisons).
+const std::vector<ProtocolEdge>& ProtocolEdges();
+
+}  // namespace platinum::mem
+
+#endif  // SRC_MEM_PROTOCOL_SPEC_H_

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/thread_annotations.h"
 #include "src/mem/access_observer.h"
 #include "src/mem/page_event.h"
 #include "src/mem/trace.h"
@@ -143,15 +144,17 @@ class PageTrace : public mem::PageEventSink, public mem::AccessObserver {
   // Top-K page ids by (faults desc, events desc, id asc).
   std::vector<uint32_t> TopPages() const;
 
-  PageTraceOptions options_;
-  mem::TraceLog ring_;
-  std::vector<PageRollup> rollups_;
+  // Hook state is mutated from whichever fiber faulted; safe without a lock
+  // because fibers never preempt inside a hook (single host thread).
+  PageTraceOptions options_ PLATINUM_FIBER_SHARED;
+  mem::TraceLog ring_ PLATINUM_FIBER_SHARED;
+  std::vector<PageRollup> rollups_ PLATINUM_FIBER_SHARED;
   // (as_id, vpn) -> cpage, maintained from bind/unbind notifications.
-  std::vector<std::vector<uint32_t>> vpn_to_cpage_;
-  mem::AccessObserver* next_ = nullptr;
-  uint64_t events_seen_ = 0;
-  uint64_t accesses_seen_ = 0;
-  uint64_t rollups_dropped_ = 0;
+  std::vector<std::vector<uint32_t>> vpn_to_cpage_ PLATINUM_FIBER_SHARED;
+  mem::AccessObserver* next_ PLATINUM_FIBER_SHARED = nullptr;
+  uint64_t events_seen_ PLATINUM_FIBER_SHARED = 0;
+  uint64_t accesses_seen_ PLATINUM_FIBER_SHARED = 0;
+  uint64_t rollups_dropped_ PLATINUM_FIBER_SHARED = 0;
 };
 
 }  // namespace platinum::obs

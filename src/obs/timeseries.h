@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/thread_annotations.h"
 #include "src/obs/observability.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/stats.h"
@@ -71,12 +72,14 @@ class EpochSampler : public sim::TimeObserver {
  private:
   void CloseEpoch(sim::SimTime end);
 
-  const sim::Machine* machine_;
-  EpochSamplerOptions options_;
-  sim::SimTime next_epoch_end_;
-  std::vector<Sample> samples_;
-  uint64_t samples_dropped_ = 0;
-  bool finalized_ = false;
+  // Sampled from the epoch-boundary hook on whichever fiber crossed the
+  // boundary; safe without a lock (fibers never preempt inside a hook).
+  const sim::Machine* machine_ PLATINUM_FIBER_SHARED;
+  EpochSamplerOptions options_ PLATINUM_FIBER_SHARED;
+  sim::SimTime next_epoch_end_ PLATINUM_FIBER_SHARED;
+  std::vector<Sample> samples_ PLATINUM_FIBER_SHARED;
+  uint64_t samples_dropped_ PLATINUM_FIBER_SHARED = 0;
+  bool finalized_ PLATINUM_FIBER_SHARED = false;
 };
 
 }  // namespace platinum::obs

@@ -1,0 +1,184 @@
+// Three-way consistency between the machine-readable protocol spec
+// (src/mem/protocol_spec.json, compiled to protocol_spec.gen.h), the
+// implementation, and the correctness layer:
+//
+//   * the bounded explorer's closed 2p/3p state spaces must traverse exactly
+//     the spec's read/write/thaw rows — a row the explorer never takes is a
+//     spec claim the implementation does not honor, and an edge outside the
+//     spec aborts the exploration itself;
+//   * pin / replicate-to / unbind scenarios driven under the oracle must
+//     complete (the oracle validates every per-page change against the spec
+//     rows of the trigger that fired);
+//   * a state mutation smuggled past the sanctioned funnel must abort at the
+//     next transition with a protocol-spec violation.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/check/explorer.h"
+#include "src/check/oracle.h"
+#include "src/mem/cpage.h"
+#include "src/mem/protocol_spec.h"
+#include "tests/test_util.h"
+
+namespace platinum {
+namespace {
+
+using test::RunInThread;
+using test::TestSystem;
+
+std::string EdgeName(const mem::ProtocolEdge& edge) {
+  std::ostringstream out;
+  out << mem::ProtocolTriggerName(edge.trigger) << ": " << mem::CpageStateName(edge.from)
+      << " -> " << mem::CpageStateName(edge.to);
+  return out.str();
+}
+
+std::string Describe(const std::set<mem::ProtocolEdge>& edges) {
+  std::ostringstream out;
+  for (const mem::ProtocolEdge& edge : edges) {
+    out << "  " << EdgeName(edge) << "\n";
+  }
+  return out.str();
+}
+
+// The spec rows reachable through the explorer's alphabet (reads, writes,
+// and thaws; pin/replicate-to/unbind are host-driven and covered below).
+std::set<mem::ProtocolEdge> ExplorableSpecEdges() {
+  std::set<mem::ProtocolEdge> expected;
+  for (const mem::ProtocolEdge& edge : mem::ProtocolEdges()) {
+    if (edge.trigger == mem::ProtocolTrigger::kRead ||
+        edge.trigger == mem::ProtocolTrigger::kWrite ||
+        edge.trigger == mem::ProtocolTrigger::kThaw) {
+      expected.insert(edge);
+    }
+  }
+  return expected;
+}
+
+// Every read/write/thaw row of the spec is traversed by some closed state
+// space, and no exploration ever leaves the spec (the explorer aborts on an
+// out-of-spec edge, so reaching the assertions below proves containment).
+TEST(ProtocolSpecExplorerTest, ClosedStateSpacesCoverExactlyTheSpec) {
+  std::set<mem::ProtocolEdge> observed;
+  uint32_t state_mask = 0;
+  struct Run {
+    const char* name;
+    check::ExplorerConfig config;
+  };
+  std::vector<Run> runs;
+  {
+    check::ExplorerConfig c;
+    c.processors = 2;
+    c.pages = 1;
+    c.policy = "timestamp";
+    runs.push_back({"2p-timestamp", c});
+    c.policy = "always";
+    runs.push_back({"2p-always", c});
+    c.policy = "never";
+    runs.push_back({"2p-never", c});
+    c.policy = "timestamp";
+    c.advice = mem::MemoryAdvice::kWriteShared;
+    runs.push_back({"2p-write-shared", c});
+    c.advice = mem::MemoryAdvice::kDefault;
+    c.processors = 3;
+    runs.push_back({"3p-timestamp", c});
+  }
+  for (const Run& run : runs) {
+    check::ExplorerResult result = check::ExploreProtocol(run.config);
+    EXPECT_TRUE(result.exhaustive) << run.name << ": " << result.Summary();
+    observed.insert(result.observed_edges.begin(), result.observed_edges.end());
+    state_mask |= result.state_mask_seen;
+  }
+
+  std::set<mem::ProtocolEdge> expected = ExplorableSpecEdges();
+  std::set<mem::ProtocolEdge> missing;
+  for (const mem::ProtocolEdge& edge : expected) {
+    if (observed.count(edge) == 0) {
+      missing.insert(edge);
+    }
+  }
+  std::set<mem::ProtocolEdge> extra;
+  for (const mem::ProtocolEdge& edge : observed) {
+    if (expected.count(edge) == 0) {
+      extra.insert(edge);
+    }
+  }
+  EXPECT_TRUE(missing.empty()) << "spec rows no closed exploration traversed (stale spec "
+                                  "rows, or coverage regression):\n"
+                               << Describe(missing);
+  EXPECT_TRUE(extra.empty()) << "explored edges absent from the spec:\n" << Describe(extra);
+  EXPECT_EQ(state_mask, mem::ProtocolReachableStateMask())
+      << "explorer did not visit every state the spec declares reachable";
+}
+
+// Host-driven triggers: pin, replicate-to, and unbind, each exercised from
+// every from-state its spec rows name, with the oracle attached throughout.
+TEST(ProtocolSpecOracleTest, HostTriggersStayWithinSpec) {
+  TestSystem sys(4);
+  auto* space = sys.kernel.CreateAddressSpace("spec");
+  vm::MemoryObject* object = sys.kernel.CreateMemoryObject("spec-pages", 8);
+  sys.kernel.Map(space, object, 0, 8, /*vpn=*/0, hw::Rights::kReadWrite);
+  check::InvariantOracle oracle(&sys.kernel.memory());
+  uint32_t page_size = sys.kernel.page_size();
+
+  // pin: empty -> present1 (page 0 untouched before the pin).
+  sys.kernel.PinMemory(space, 0 * page_size, /*node=*/1);
+  // pin: present1 -> present1 on another node (migrate), then replicate-to:
+  // present1 -> present+ is blocked by the pin's freeze, so thaw first.
+  RunInThread(sys.kernel, space, 0, [&] { sys.kernel.ReadWord(space, 1 * page_size); });
+  sys.kernel.PinMemory(space, 1 * page_size, /*node=*/2);
+  sys.kernel.ThawMemory(space, 1 * page_size);
+  sys.kernel.ReplicateMemory(space, 1 * page_size, /*node=*/3);
+  // pin: present+ -> present1 collapses the replicas again.
+  sys.kernel.PinMemory(space, 1 * page_size, /*node=*/3);
+
+  // replicate-to: modified -> present+ (restrict then replicate), then a
+  // write takes it back and pin: modified -> present1.
+  RunInThread(sys.kernel, space, 0, [&] { sys.kernel.WriteWord(space, 2 * page_size, 7); });
+  sys.kernel.ReplicateMemory(space, 2 * page_size, /*node=*/2);
+  RunInThread(sys.kernel, space, 1, [&] { sys.kernel.WriteWord(space, 2 * page_size, 8); });
+  sys.kernel.PinMemory(space, 2 * page_size, /*node=*/0);
+
+  // replicate-to: present+ -> present+ adds a third copy.
+  RunInThread(sys.kernel, space, 0, [&] { sys.kernel.ReadWord(space, 3 * page_size); });
+  sys.kernel.ReplicateMemory(space, 3 * page_size, /*node=*/1);
+  sys.kernel.ReplicateMemory(space, 3 * page_size, /*node=*/2);
+
+  // unbind: modified -> present1 (write mappings die with the space's
+  // translations), plus self-edges for the other bound pages.
+  RunInThread(sys.kernel, space, 0, [&] { sys.kernel.WriteWord(space, 4 * page_size, 9); });
+  sys.kernel.Unmap(space, /*vpn=*/0, /*num_pages=*/8);
+
+  EXPECT_GT(oracle.transitions_checked(), 0u);
+  oracle.CheckNow();
+}
+
+// A SetState outside the sanctioned funnel is caught at the next transition:
+// the oracle's shadow diff sees an edge no spec row allows and aborts with a
+// protocol-spec violation naming the page and the trigger.
+TEST(ProtocolSpecOracleDeathTest, SmuggledMutationAbortsAtNextTransition) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TestSystem sys(2);
+  auto* space = sys.kernel.CreateAddressSpace("smuggle");
+  vm::MemoryObject* object = sys.kernel.CreateMemoryObject("smuggle-page", 1);
+  sys.kernel.Map(space, object, 0, 1, /*vpn=*/0, hw::Rights::kReadWrite);
+  check::InvariantOracle oracle(&sys.kernel.memory());
+  RunInThread(sys.kernel, space, 0, [&] { sys.kernel.WriteWord(space, 0, 1); });
+
+  EXPECT_DEATH(
+      {
+        mem::Cmap& cm = sys.kernel.memory().cmap(space->id());
+        uint32_t cpage = cm.entry(0).cpage;
+        // Bypasses the funnel: no fault, no hook, shadow still says modified.
+        sys.kernel.memory().cpages().at(cpage).SetState(mem::CpageState::kEmpty);
+        sys.kernel.Unmap(space, /*vpn=*/0, /*num_pages=*/1);
+      },
+      "protocol-spec violation");
+}
+
+}  // namespace
+}  // namespace platinum

@@ -173,3 +173,101 @@ def check_no_yield(root: str):
                 "message": f"{qual} is declared PLATINUM_NO_YIELD but calls "
                            f"{sorted(reach)} (clang AST frontend)"})
     return findings
+
+
+def _collect_member_sites(ast: dict, member: str, directory: str, root: str,
+                          sites: set):
+    """Collects (repo-relative path, line) of every MemberExpr naming
+    `member`, decoding clang's differential source locations: "file" and
+    "line" appear in the JSON only when they change from the previously
+    printed location, so the walk must visit locations in document order
+    with mutable state."""
+    state = {"file": None, "line": None}
+
+    def bare(loc):
+        if "file" in loc:
+            state["file"] = loc["file"]
+        if "line" in loc:
+            state["line"] = loc["line"]
+        return state["file"], state["line"]
+
+    def visit(loc):
+        if not isinstance(loc, dict) or not loc:
+            return None, None
+        if "spellingLoc" in loc or "expansionLoc" in loc:
+            # Macro locations carry both; each updates the differential
+            # state in print order, and the expansion is where the code is.
+            if "spellingLoc" in loc:
+                bare(loc["spellingLoc"])
+            if "expansionLoc" in loc:
+                return bare(loc["expansionLoc"])
+            return state["file"], state["line"]
+        return bare(loc)
+
+    def rel(path):
+        if path is None:
+            return None
+        if not os.path.isabs(path):
+            path = os.path.join(directory, path)
+        path = os.path.normpath(path)
+        try:
+            return os.path.relpath(path, root)
+        except ValueError:
+            return path
+
+    def walk(node):
+        visit(node.get("loc"))
+        rng = node.get("range") or {}
+        visit(rng.get("begin"))
+        end_file, end_line = visit(rng.get("end"))
+        # A MemberExpr's source range ends at the member-name token, which
+        # is the same line the text frontend records for the call.
+        if node.get("kind") == "MemberExpr" and node.get("name") == member:
+            path = rel(end_file)
+            if path and path.replace(os.sep, "/").startswith("src/mem/") and end_line:
+                sites.add((path.replace(os.sep, "/"), end_line))
+        for child in node.get("inner", []):
+            if isinstance(child, dict):
+                walk(child)
+
+    walk(ast)
+
+
+def conformance_sites(root: str) -> set:
+    """(repo-relative path, line) of every Cpage::SetState call site in
+    src/mem, per the clang AST."""
+    clang = _find_clang()
+    db = _load_compile_db(root)
+    sites: set = set()
+    for entry in db:
+        path = entry.get("file", "").replace(os.sep, "/")
+        if "/src/mem/" not in path or not path.endswith((".cc", ".cpp")):
+            continue
+        ast = _ast_for(clang, entry)
+        _collect_member_sites(ast, "SetState", entry.get("directory", "."),
+                              root, sites)
+    if not sites:
+        raise ClangUnavailable(
+            "clang AST walk found zero SetState sites under src/mem; AST "
+            "schema drift suspected — refusing a vacuous parity pass")
+    return sites
+
+
+def check_conformance_parity(root: str, text_sites: set):
+    """Findings (as dicts) for SetState mutation sites where the text and
+    clang frontends disagree. An empty list means both frontends saw the
+    exact same (path, line) set, i.e. the textual protocol-conformance rule
+    missed no mutation site and invented none."""
+    ast_sites = conformance_sites(root)
+    findings = []
+    for path, line in sorted(text_sites - ast_sites):
+        findings.append({
+            "rule": "protocol-conformance", "path": path, "line": line,
+            "message": "SetState site seen by the text frontend but not the "
+                       "clang AST (frontend divergence)"})
+    for path, line in sorted(ast_sites - text_sites):
+        findings.append({
+            "rule": "protocol-conformance", "path": path, "line": line,
+            "message": "SetState site seen by the clang AST but not the text "
+                       "frontend (frontend divergence)"})
+    return findings

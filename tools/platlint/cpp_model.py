@@ -183,6 +183,18 @@ class Declaration:
 
 
 @dataclass
+class FieldDecl:
+    """A non-static data member, with its thread-safety annotations."""
+    cls: str
+    name: str
+    type_base: str | None     # e.g. "DisciplineLock", "vector"
+    path: str
+    line: int
+    guarded: bool = False     # GUARDED_BY / PT_GUARDED_BY present
+    shared: bool = False      # PLATINUM_FIBER_SHARED present
+
+
+@dataclass
 class CallSite:
     name: str                 # called simple name
     offset: int               # offset within the body text
@@ -200,6 +212,8 @@ class SourceFile:
     functions: list[FunctionDef] = field(default_factory=list)
     declarations: list[Declaration] = field(default_factory=list)
     fields: dict[str, dict[str, str]] = field(default_factory=dict)  # class -> name -> base type
+    field_decls: list[FieldDecl] = field(default_factory=list)
+    class_bases: dict[str, list[str]] = field(default_factory=dict)  # class -> base simple names
     _line_starts: list[int] = field(default_factory=list)
 
     def line_of(self, offset: int) -> int:
@@ -271,10 +285,58 @@ def _name_before(segment: str, idx: int) -> str | None:
     return m.group(1) if m else None
 
 
+def _parse_bases(tail: str) -> list[str]:
+    """Base-class simple names from the text after a class name.
+
+    `` final : public mem::PageEventSink, public AccessObserver`` ->
+    ``["PageEventSink", "AccessObserver"]``. The base-list colon is the
+    first `:` at angle depth 0 that is not part of a `::`.
+    """
+    colon = -1
+    depth = 0
+    for i, ch in enumerate(tail):
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth = max(0, depth - 1)
+        elif ch == ":" and depth == 0:
+            if (i > 0 and tail[i - 1] == ":") or (i + 1 < len(tail) and tail[i + 1] == ":"):
+                continue
+            colon = i
+            break
+    if colon < 0:
+        return []
+    bases = []
+    for part in _split_toplevel_commas(tail[colon + 1:]):
+        part = re.sub(r"\b(public|private|protected|virtual)\b", " ", part)
+        base = _base_type(part)
+        if base:
+            bases.append(base)
+    return bases
+
+
+def _split_toplevel_commas(s: str) -> list[str]:
+    out = []
+    depth = 0
+    cur = []
+    for ch in s:
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth = max(0, depth - 1)
+        if ch == "," and depth == 0:
+            out.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    out.append("".join(cur))
+    return out
+
+
 def _classify_segment(segment: str):
     """Classifies the text before a `{` at namespace/class scope.
 
-    Returns ("namespace", name) | ("class", name) | ("enum", None) |
+    Returns ("namespace", name) | ("class", name, bases) | ("enum", None) |
     ("function", name, param_open, segment_stripped) | ("block", None).
     """
     seg = re.sub(r"\btemplate\s*<[^{}]*?>", " ", segment)
@@ -286,7 +348,7 @@ def _classify_segment(segment: str):
     no_macros = _strip_macros(seg)
     cm = re.search(r"\b(?:class|struct|union)\s+([A-Za-z_]\w*)", no_macros)
     if cm is not None and "(" not in _strip_template_args(no_macros.split(":")[0]):
-        return ("class", cm.group(1))
+        return ("class", cm.group(1), _parse_bases(no_macros[cm.end():]))
     popen = _first_toplevel_paren(seg)
     if popen >= 0:
         name = _name_before(seg, popen)
@@ -296,8 +358,15 @@ def _classify_segment(segment: str):
     return ("block", None)
 
 
-def _parse_member_segment(sf: SourceFile, segment: str, cls: str, line: int):
+def _parse_member_segment(sf: SourceFile, segment: str, cls: str, seg_start: int):
     """A `;`-terminated segment at class scope: method decl or field."""
+    # The segment starts right after the previous `;`/`{`; the declaration's
+    # line is where its first token sits (past any access specifier), not
+    # where the segment begins.
+    spec = re.match(r"\s*(?:public|private|protected)\s*:", segment)
+    content_off = spec.end() if spec else 0
+    rest = segment[content_off:]
+    line = sf.line_of(seg_start + content_off + (len(rest) - len(rest.lstrip())))
     seg = re.sub(r"^\s*(?:public|private|protected)\s*:", " ", segment)
     seg = re.sub(r"\btemplate\s*<[^{}]*?>", " ", seg)
     ann_m = _ANNOTATION_RE.search(seg)
@@ -329,6 +398,14 @@ def _parse_member_segment(sf: SourceFile, segment: str, cls: str, line: int):
     base = _base_type(m.group(1))
     if base is not None:
         sf.fields.setdefault(cls, {})[m.group(2)] = base
+        # Thread-safety annotations live in the pre-strip text (they are
+        # UPPER_CASE macros, gone from `clean`). Aliases and compile-time
+        # members are not per-fiber state, so they carry no FieldDecl.
+        if not re.search(r"\b(using|typedef|friend|static|constexpr)\b", decl):
+            sf.field_decls.append(FieldDecl(
+                cls=cls, name=m.group(2), type_base=base, path=sf.path, line=line,
+                guarded=re.search(r"\b(?:PT_)?GUARDED_BY\s*\(", seg) is not None,
+                shared=re.search(r"\bPLATINUM_FIBER_SHARED\b", seg) is not None))
 
 
 def _structural_scan(sf: SourceFile):
@@ -395,6 +472,8 @@ def _structural_scan(sf: SourceFile):
                 depth += 1
                 i += 1
                 continue
+            if kind[0] == "class":
+                sf.class_bases[kind[1]] = kind[2]
             stack.append((kind[0], kind[1] if len(kind) > 1 else None))
             depth += 1
             seg_start = i + 1
@@ -420,7 +499,7 @@ def _structural_scan(sf: SourceFile):
                     break
             in_enum = any(k == "enum" for k, _ in stack[-1:])
             if segment.strip() and not in_enum:
-                _parse_member_segment(sf, segment, cls or "", sf.line_of(seg_start))
+                _parse_member_segment(sf, segment, cls or "", seg_start)
             seg_start = i + 1
         i += 1
 
@@ -508,15 +587,22 @@ class RepoModel:
 
     def __init__(self, files: list[SourceFile]):
         self.files = {f.path: f for f in files}
+        self.root: str | None = None  # filesystem root (set by load_tree)
         self.functions: list[FunctionDef] = []
         self.by_simple: dict[str, list[FunctionDef]] = {}
         self.fields: dict[str, dict[str, str]] = {}
+        self.field_decls: list[FieldDecl] = []
+        self.class_bases: dict[str, list[str]] = {}
         self.annotations: dict[str, str] = {}
         self.return_types: dict[tuple[str | None, str], str] = {}
         self.decl_lines: dict[str, tuple[str, int]] = {}
         for f in files:
             for cls, members in f.fields.items():
                 self.fields.setdefault(cls, {}).update(members)
+            self.field_decls.extend(f.field_decls)
+            for cls, bases in f.class_bases.items():
+                if bases or cls not in self.class_bases:
+                    self.class_bases[cls] = bases
             for fn in f.functions:
                 self.functions.append(fn)
                 self.by_simple.setdefault(fn.simple, []).append(fn)
@@ -531,6 +617,20 @@ class RepoModel:
                 if d.return_type:
                     self.return_types.setdefault((d.cls, d.simple), d.return_type)
         self.known_quals = {fn.qualified for fn in self.functions} | set(self.annotations)
+
+    def derives_from(self, cls: str, roots: set[str]) -> bool:
+        """True iff `cls` is, or transitively derives from, a class in `roots`."""
+        seen = set()
+        frontier = [cls]
+        while frontier:
+            cur = frontier.pop()
+            if cur in roots:
+                return True
+            if cur in seen:
+                continue
+            seen.add(cur)
+            frontier.extend(self.class_bases.get(cur, []))
+        return False
 
     def resolve_receiver_type(self, fn: FunctionDef, chain: list[str],
                               locals_map: dict[str, str]) -> str | None:
@@ -608,4 +708,6 @@ def load_tree(root: str, rel_dirs: list[str],
                 files.append(parse_file(rel_path, text))
     for path, text in extra or []:
         files.append(parse_file(path, text))
-    return RepoModel(files)
+    model = RepoModel(files)
+    model.root = root
+    return model

@@ -1,0 +1,22 @@
+// platlint fixture: must trigger the annotation-coverage rule.
+// platlint-fixture-as: src/check/fixture_annotation_coverage.cc
+// platlint-fixture-rule: annotation-coverage
+//
+// A hook implementer whose counter is neither GUARDED_BY a lock nor marked
+// PLATINUM_FIBER_SHARED: the hook runs on whichever fiber faulted, so the
+// member is shared mutable state with no declared synchronization story.
+#include <cstdint>
+
+#include "src/mem/access_observer.h"
+
+namespace platinum::check {
+
+class FixtureCounter : public mem::AccessObserver {
+ public:
+  void OnMemoryAccess(const mem::MemoryAccess& access) override { ++accesses_; }
+
+ private:
+  uint64_t accesses_ = 0;
+};
+
+}  // namespace platinum::check

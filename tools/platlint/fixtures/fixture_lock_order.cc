@@ -1,0 +1,39 @@
+// platlint fixture: must trigger the lock-order rule.
+// platlint-fixture-as: src/kernel/fixture_lock_order.cc
+// platlint-fixture-rule: lock-order
+//
+// Two paths take the same pair of kernel locks in opposite orders: the lock
+// graph gets the edges a_ -> b_ (TakeAB holds a_ and calls TakeB) and
+// b_ -> a_ (TakeBA holds b_ and calls TakeA), a deadlock cycle.
+#include "src/base/discipline_lock.h"
+
+namespace platinum::kernel {
+
+class FixtureTables {
+ public:
+  void TakeAB() {
+    a_.Acquire();
+    TakeB();
+    a_.Release();
+  }
+  void TakeBA() {
+    b_.Acquire();
+    TakeA();
+    b_.Release();
+  }
+
+ private:
+  void TakeA() {
+    a_.Acquire();
+    a_.Release();
+  }
+  void TakeB() {
+    b_.Acquire();
+    b_.Release();
+  }
+
+  base::DisciplineLock a_;
+  base::DisciplineLock b_;
+};
+
+}  // namespace platinum::kernel

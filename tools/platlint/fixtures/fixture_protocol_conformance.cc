@@ -1,0 +1,17 @@
+// platlint fixture: must trigger the protocol-conformance rule.
+// platlint-fixture-as: src/mem/fixture_protocol_conformance.cc
+// platlint-fixture-rule: protocol-conformance
+//
+// Two violations in one site: the annotation claims a micro event the spec
+// does not know, and the mutation sits outside the spec's mutation_files
+// funnel (this file is not one of the sanctioned mem sources).
+#include "src/mem/cpage.h"
+
+namespace platinum::mem {
+
+void FixtureResetPage(Cpage* page) {
+  // protocol: teleport modified -> empty
+  page->SetState(CpageState::kEmpty);
+}
+
+}  // namespace platinum::mem

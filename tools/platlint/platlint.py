@@ -11,11 +11,18 @@ rules described in docs/STATIC_ANALYSIS.md:
   pointer-escape       FrameData() host pointers stay inside the memory system
   no-yield             PLATINUM_NO_YIELD functions cannot reach a switch point
   yield-under-lock     no switch point inside a DisciplineLock critical section
+  protocol-conformance Cpage state mutations match src/mem/protocol_spec.json
+  lock-order           no cycles in the lock-acquisition graph
+  annotation-coverage  hook implementers declare how their state is shared
 
 Usage:
-  platlint.py [--root DIR] [--rule NAME]... [--json] [--baseline FILE]
+  platlint.py [--root DIR] [--rule NAME]... [--json] [--json-out FILE]
+              [--baseline FILE] [--timing] [--frontend text|clang]
   platlint.py --list-rules
   platlint.py --selftest          # fixtures must trigger, real tree must pass
+
+A baseline entry that no longer matches any finding is itself reported (as
+stale-baseline) so suppressions cannot outlive the debt they cover.
 
 Exit status: 0 clean, 1 findings (or selftest failure), 2 usage error.
 
@@ -32,6 +39,7 @@ import json
 import os
 import re
 import sys
+import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
@@ -56,14 +64,38 @@ def load_baseline(path: str | None):
     return {(e["rule"], e["path"]) for e in entries}
 
 
-def run_rules(model, selected, baseline):
+def run_rules(model, selected, baseline, timings=None):
+    """Returns (findings, used) where `used` is the subset of baseline
+    entries that matched at least one finding. `timings`, if given, is a
+    dict filled with per-rule wall seconds."""
     findings = []
+    used = set()
     for rule in selected:
+        start = time.monotonic()
         for f in rule.apply(model):
-            if (f.rule, f.path) not in baseline:
+            if (f.rule, f.path) in baseline:
+                used.add((f.rule, f.path))
+            else:
                 findings.append(f)
+        if timings is not None:
+            timings[rule.name] = timings.get(rule.name, 0.0) + (time.monotonic() - start)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return findings
+    return findings, used
+
+
+def stale_findings(baseline, used, selected_names):
+    """A baseline entry that matches no finding is itself an error: it hides
+    nothing and would silently mask a future regression at that path. Only
+    entries for rules that actually ran can be judged stale."""
+    from rules import Finding
+    stale = []
+    for rule_name, path in sorted(baseline - used):
+        if rule_name in selected_names:
+            stale.append(Finding(
+                "stale-baseline", path, 0,
+                f"baseline entry ({rule_name}, {path}) matched no finding; "
+                "remove it from tools/platlint/baseline.json"))
+    return stale
 
 
 def selftest(root: str, selected) -> int:
@@ -93,7 +125,7 @@ def selftest(root: str, selected) -> int:
             continue  # rule filtered out on the command line
         covered.add(want_rule)
         model = cpp_model.load_tree(root, ["src"], extra=[(as_path, text)])
-        findings = run_rules(model, selected, baseline=set())
+        findings, _ = run_rules(model, selected, baseline=set())
         hits = [f for f in findings if f.path == as_path and f.rule == want_rule]
         extra = [f for f in findings if f.path != as_path]
         if not hits:
@@ -112,6 +144,18 @@ def selftest(root: str, selected) -> int:
     if uncovered:
         print(f"FAIL: rules with no fixture: {', '.join(sorted(uncovered))}")
         failures += 1
+    # Stale-baseline detection must itself fire: a baseline entry naming a
+    # file that produces no finding has to be reported, not silently kept.
+    model = cpp_model.load_tree(root, ["src"])
+    dead_entry = (selected[0].name, "src/sim/NO_SUCH_FILE.cc")
+    _, used = run_rules(model, selected, baseline={dead_entry})
+    stale = stale_findings({dead_entry}, used, rule_names)
+    if len(stale) == 1 and dead_entry[1] in stale[0].message:
+        print("ok   stale-baseline: dead baseline entry reported")
+    else:
+        print(f"FAIL stale-baseline: expected 1 stale finding for {dead_entry}, "
+              f"got {len(stale)}")
+        failures += 1
     if failures:
         print(f"platlint selftest: {failures} failure(s)")
         return 1
@@ -126,6 +170,10 @@ def main(argv=None) -> int:
     ap.add_argument("--rule", action="append", default=[],
                     help="run only this rule (repeatable)")
     ap.add_argument("--json", action="store_true", help="emit findings as JSON")
+    ap.add_argument("--json-out", default=None, metavar="FILE",
+                    help="also write findings as JSON to FILE (for CI artifacts)")
+    ap.add_argument("--timing", action="store_true",
+                    help="print per-rule and total wall-clock timing to stderr")
     ap.add_argument("--baseline", default=None,
                     help="JSON baseline of accepted (rule, path) pairs "
                          "(default: tools/platlint/baseline.json if present)")
@@ -165,19 +213,48 @@ def main(argv=None) -> int:
             baseline_path = default_baseline
     baseline = load_baseline(baseline_path)
 
+    total_start = time.monotonic()
+    timings = {} if args.timing else None
     model = cpp_model.load_tree(args.root, ["src"])
-    findings = run_rules(model, selected, baseline)
+    load_done = time.monotonic()
+    findings, used = run_rules(model, selected, baseline, timings=timings)
 
     if args.frontend == "clang":
         import clang_frontend
         from rules import Finding
         try:
-            for f in clang_frontend.check_no_yield(args.root):
-                findings.append(Finding(f["rule"], f["path"], f["line"], f["message"]))
+            clang_start = time.monotonic()
+            clang_findings = list(clang_frontend.check_no_yield(args.root))
+            conf_rule = rules_mod.RULES_BY_NAME.get("protocol-conformance")
+            if conf_rule is not None and conf_rule in selected:
+                text_sites = conf_rule.collect_sites(model)
+                clang_findings += clang_frontend.check_conformance_parity(
+                    args.root, text_sites)
+            if timings is not None:
+                timings["clang-frontend"] = time.monotonic() - clang_start
+            for f in clang_findings:
+                if (f["rule"], f["path"]) in baseline:
+                    used.add((f["rule"], f["path"]))
+                else:
+                    findings.append(Finding(f["rule"], f["path"], f["line"], f["message"]))
         except clang_frontend.ClangUnavailable as e:
             print(f"platlint: clang frontend unavailable: {e}", file=sys.stderr)
             return 2
 
+    findings += stale_findings(baseline, used, {r.name for r in selected})
+
+    if args.timing and timings is not None:
+        for name in sorted(timings, key=timings.get, reverse=True):
+            print(f"platlint timing: {name:22} {timings[name]:7.3f}s", file=sys.stderr)
+        print(f"platlint timing: {'model-load':22} {load_done - total_start:7.3f}s",
+              file=sys.stderr)
+        print(f"platlint timing: {'total':22} "
+              f"{time.monotonic() - total_start:7.3f}s", file=sys.stderr)
+
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as out:
+            json.dump([f.to_json() for f in findings], out, indent=2)
+            out.write("\n")
     if args.json:
         print(json.dumps([f.to_json() for f in findings], indent=2))
     else:

@@ -12,10 +12,12 @@ Every rule produces `Finding`s over a `cpp_model.RepoModel`. Suppression:
 
 from __future__ import annotations
 
+import json
+import os
 import re
 from dataclasses import dataclass, field
 
-from cpp_model import RepoModel, extract_calls, local_types
+from cpp_model import RepoModel, _match_paren, extract_calls, local_types
 
 # Directories making up the deterministic simulation core (the historical
 # lint_nondeterminism scope).
@@ -387,6 +389,379 @@ class YieldUnderLockRule(Rule):
         return out
 
 
+class ProtocolConformanceRule(Rule):
+    """Diffs every Cpage state-mutation site against the machine-readable
+    protocol spec (src/mem/protocol_spec.json, the table docs/PROTOCOL.md is
+    rendered from):
+
+      * each `SetState(CpageState::k...)` call in src/mem must carry a
+        `// protocol: <event> <from>[|<from>] -> <to>` annotation whose rows
+        all exist in the spec's micro-transition table, and whose to-state
+        matches the literal the code sets;
+      * every spec micro row must be claimed by some annotated site (a row no
+        site implements is stale spec);
+      * Cpage mutators called outside the spec's `mutation_files` funnel are
+        reported wherever they appear in src/ — protocol state changes only
+        happen where the spec says they do."""
+
+    name = "protocol-conformance"
+    description = ("Cpage state mutations funnel through src/mem and match "
+                   "protocol_spec.json.")
+
+    SPEC_PATH = "src/mem/protocol_spec.json"
+    STATE_OF_LITERAL = {"kEmpty": "empty", "kPresent1": "present1",
+                        "kPresentPlus": "present+", "kModified": "modified"}
+
+    _SET_STATE_RE = re.compile(r"\bSetState\s*\(")
+    _LITERAL_RE = re.compile(r"CpageState::(k\w+)")
+    _DECL_ARG_RE = re.compile(r"^\s*CpageState\s+\w+\s*$")
+    _PROTOCOL_RE = re.compile(r"protocol:\s*([\w-]+)\s+([\w+|]+)\s*->\s*([\w+]+)")
+    _MUTATOR_CALL_RE = re.compile(
+        r"(?:->|\.)\s*(SetState|SetFrozen|SetFreezeTime|AddCopy|RemoveCopy|"
+        r"AddWriteMapping|DropWriteMapping|ClearWriteMappings|"
+        r"RecordInvalidation)\s*\(")
+
+    def _load_spec(self, model: RepoModel):
+        if model.root is None:
+            return None
+        path = os.path.join(model.root, self.SPEC_PATH)
+        if not os.path.exists(path):
+            return None
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+
+    def collect_sites(self, model: RepoModel) -> set[tuple[str, int]]:
+        """(path, line) of every SetState call site in src/mem (declarations
+        excluded). The clang frontend cross-checks this exact set."""
+        sites = set()
+        for path, sf in sorted(model.files.items()):
+            if not path.startswith("src/mem/"):
+                continue
+            for m in self._SET_STATE_RE.finditer(sf.code):
+                popen = sf.code.index("(", m.start())
+                close = _match_paren(sf.code, popen)
+                arg = sf.code[popen + 1: close] if close > 0 else ""
+                if self._DECL_ARG_RE.match(arg):
+                    continue  # the declaration/definition in cpage.h
+                sites.add((path, sf.line_of(m.start())))
+        return sites
+
+    def run(self, model: RepoModel) -> list[Finding]:
+        out = []
+        spec = self._load_spec(model)
+        if spec is None:
+            out.append(Finding(self.name, self.SPEC_PATH, 1,
+                               "protocol spec not found (src/mem/protocol_spec.json)"))
+            return out
+        micro = {(r["from"], r["event"], r["to"]) for r in spec["micro_transitions"]}
+        events = set(spec["micro_events"])
+        mutation_files = set(spec["mutation_files"])
+        covered = set()
+        for path, sf in sorted(model.files.items()):
+            if not path.startswith("src/mem/"):
+                continue
+            for m in self._SET_STATE_RE.finditer(sf.code):
+                popen = sf.code.index("(", m.start())
+                close = _match_paren(sf.code, popen)
+                arg = sf.code[popen + 1: close] if close > 0 else ""
+                if self._DECL_ARG_RE.match(arg):
+                    continue
+                line = sf.line_of(m.start())
+                snippet = sf.raw_lines[line - 1].strip()
+                lit = self._LITERAL_RE.search(arg)
+                if lit is None:
+                    out.append(Finding(
+                        self.name, path, line,
+                        "SetState argument must be a CpageState::k... literal so "
+                        "the conformance check can read the target state", snippet))
+                    continue
+                to_state = self.STATE_OF_LITERAL.get(lit.group(1))
+                ann = None
+                for raw in sf.raw_lines[max(0, line - 3): line]:
+                    am = self._PROTOCOL_RE.search(raw)
+                    if am:
+                        ann = am
+                if ann is None:
+                    out.append(Finding(
+                        self.name, path, line,
+                        "SetState site without a `// protocol: <event> <from> -> "
+                        "<to>` annotation (diffed against src/mem/protocol_spec"
+                        ".json)", snippet))
+                    continue
+                event, froms, to = ann.group(1), ann.group(2).split("|"), ann.group(3)
+                if event not in events:
+                    out.append(Finding(
+                        self.name, path, line,
+                        f"protocol annotation names unknown micro event '{event}' "
+                        "(see micro_events in src/mem/protocol_spec.json)", snippet))
+                    continue
+                if to != to_state:
+                    out.append(Finding(
+                        self.name, path, line,
+                        f"protocol annotation says the site moves to '{to}' but "
+                        f"the code sets CpageState::{lit.group(1)} ('{to_state}')",
+                        snippet))
+                    continue
+                bad = [f for f in froms if (f, event, to) not in micro]
+                if bad:
+                    out.append(Finding(
+                        self.name, path, line,
+                        f"transition {'|'.join(bad)} -[{event}]-> {to} has no "
+                        "micro row in src/mem/protocol_spec.json", snippet))
+                    continue
+                covered.update((f, event, to) for f in froms)
+        for row in sorted(micro - covered):
+            out.append(Finding(
+                self.name, self.SPEC_PATH, 1,
+                f"spec micro transition {row[0]} -[{row[1]}]-> {row[2]} is not "
+                "claimed by any annotated SetState site in src/mem (stale spec "
+                "row, or a lost annotation)"))
+        # The funnel: Cpage mutators outside the spec's sanctioned files.
+        for path, sf in sorted(model.files.items()):
+            if not path.startswith("src/") or path in mutation_files:
+                continue
+            for m in self._MUTATOR_CALL_RE.finditer(sf.code):
+                line = sf.line_of(m.start())
+                out.append(Finding(
+                    self.name, path, line,
+                    f"Cpage mutator {m.group(1)}() called outside the sanctioned "
+                    "mem funnel (mutation_files in src/mem/protocol_spec.json)",
+                    sf.raw_lines[line - 1].strip()))
+        return out
+
+
+class _LockAnalysis:
+    """Per-function lock regions and transitive acquire sets for LockOrderRule."""
+
+    def __init__(self, model: RepoModel, rule: "LockOrderRule"):
+        ya = get_yield_analysis(model)
+        self.model = model
+        self.regions: dict[int, list] = {}   # id(fn) -> (start, end, lock_id)
+        self.sites: dict[int, list] = {}     # id(fn) -> (offset, line, lock_id)
+        self.direct: dict[str, dict] = {}    # qualified -> lock_id -> (path, line)
+        for fn in model.functions:
+            locals_map = ya.locals[id(fn)]
+            regions, opens, sites = [], [], []
+            for call in ya.calls[id(fn)]:
+                if call.name not in ("Acquire", "Release") or call.receiver is None:
+                    continue
+                lock = rule.lock_id(model, fn, call.receiver, locals_map)
+                if lock is None:
+                    continue
+                if call.name == "Acquire":
+                    opens.append((call.offset, lock))
+                    sites.append((call.offset, call.line, lock))
+                else:
+                    for idx in range(len(opens) - 1, -1, -1):
+                        if opens[idx][1] == lock:
+                            regions.append((opens[idx][0], call.offset, lock))
+                            opens.pop(idx)
+                            break
+            for offset, lock in opens:
+                regions.append((offset, len(fn.body), lock))
+            for m in rule._GUARD_RE.finditer(fn.body):
+                chain = rule.chain_of(m.group(1))
+                lock = rule.lock_id(model, fn, chain, locals_map) if chain else None
+                if lock is None:
+                    continue
+                line = model.files[fn.path].line_of(fn.body_start + 1 + m.start())
+                regions.append((m.start(), len(fn.body), lock))
+                sites.append((m.start(), line, lock))
+            self.regions[id(fn)] = regions
+            self.sites[id(fn)] = sites
+            d = self.direct.setdefault(fn.qualified, {})
+            for _, line, lock in sites:
+                d.setdefault(lock, (fn.path, line))
+        # Transitive closure: locks a call into `qualified` may acquire.
+        self.trans = {q: dict(locks) for q, locks in self.direct.items()}
+        self.via: dict[tuple[str, str], str] = {}
+        changed = True
+        while changed:
+            changed = False
+            for fn in model.functions:
+                mine = self.trans.setdefault(fn.qualified, {})
+                for call in ya.calls[id(fn)]:
+                    for cand in model.resolve_call(fn, call, ya.locals[id(fn)]):
+                        q = cand if isinstance(cand, str) else cand.qualified
+                        if q == fn.qualified:
+                            continue
+                        for lock, loc in self.trans.get(q, {}).items():
+                            if lock not in mine:
+                                mine[lock] = loc
+                                self.via[(fn.qualified, lock)] = q
+                                changed = True
+
+    def chain(self, qualified: str, lock: str, limit: int = 8) -> str:
+        """`A -> B -> C` call path from `qualified` to the function that
+        directly acquires `lock`."""
+        parts = [qualified]
+        cur = qualified
+        for _ in range(limit):
+            nxt = self.via.get((cur, lock))
+            if nxt is None:
+                break
+            parts.append(nxt)
+            cur = nxt
+        return " -> ".join(parts)
+
+
+class LockOrderRule(Rule):
+    """Builds the lock-acquisition order graph over every DisciplineLock /
+    SpinLock site reachable through the platlint call graph: an edge A -> B
+    means some fiber acquires B (directly, or through a call chain) while
+    holding A. A cycle in that graph is a potential deadlock; each cycle is
+    reported once, with the witness chain of every edge.
+
+    Lock identity is `OwnerClass::member` for member locks (the same member
+    of the same class is one lock order-wise, whichever instance) and
+    `Function:local` for function-local locks. Critical sections are lexical,
+    as in yield-under-lock: Acquire pairs with the next Release on the same
+    receiver, an unmatched Acquire (or a DisciplineGuard) holds to the end of
+    the function."""
+
+    name = "lock-order"
+    description = "Lock-acquisition order cycles (potential deadlock)."
+
+    LOCK_TYPES = ("DisciplineLock", "SpinLock")
+    _GUARD_RE = re.compile(r"\bDisciplineGuard\s+\w+\s*[({]\s*([^;(){}]*)")
+    _CHAIN_SPLIT_RE = re.compile(r"->|\.")
+    _COMP_RE = re.compile(r"^\s*(\w+)\s*(\(\s*\))?\s*$")
+
+    def chain_of(self, text: str) -> list[str] | None:
+        chain = []
+        for tok in self._CHAIN_SPLIT_RE.split(text):
+            m = self._COMP_RE.match(tok)
+            if m is None:
+                return None
+            chain.append(m.group(1) + ("()" if m.group(2) else ""))
+        return chain or None
+
+    def lock_id(self, model: RepoModel, fn, chain: list[str],
+                locals_map: dict[str, str]) -> str | None:
+        rtype = model.resolve_receiver_type(fn, chain, locals_map)
+        if rtype not in self.LOCK_TYPES:
+            return None
+        last = chain[-1]
+        name = last[:-2] if last.endswith("()") else last
+        if len(chain) == 1:
+            if name in locals_map:
+                return f"{fn.qualified}:{name}"
+            owner = fn.cls
+        else:
+            owner = model.resolve_receiver_type(fn, chain[:-1], locals_map)
+        return f"{owner}::{name}" if owner else name
+
+    def run(self, model: RepoModel) -> list[Finding]:
+        ya = get_yield_analysis(model)
+        la = _LockAnalysis(model, self)
+        # (held, acquired) -> (path, line, witness text); first witness wins.
+        edges: dict[tuple[str, str], tuple[str, int, str]] = {}
+        for fn in model.functions:
+            regions = la.regions[id(fn)]
+            if not regions:
+                continue
+            locals_map = ya.locals[id(fn)]
+            for offset, line, lock in la.sites[id(fn)]:
+                for start, end, held in regions:
+                    if start < offset < end:
+                        edges.setdefault((held, lock), (
+                            fn.path, line,
+                            f"{fn.qualified} acquires {lock} at {fn.path}:{line} "
+                            f"while holding {held}"))
+            for call in ya.calls[id(fn)]:
+                if call.name in ("Acquire", "Release"):
+                    continue
+                containing = [r for r in regions if r[0] < call.offset < r[1]]
+                if not containing:
+                    continue
+                for cand in model.resolve_call(fn, call, locals_map):
+                    q = cand if isinstance(cand, str) else cand.qualified
+                    if q == fn.qualified:
+                        continue
+                    for lock, (lpath, lline) in la.trans.get(q, {}).items():
+                        for _, _, held in containing:
+                            edges.setdefault((held, lock), (
+                                fn.path, call.line,
+                                f"{fn.qualified} holds {held} and calls "
+                                f"{la.chain(q, lock)} which acquires {lock} "
+                                f"at {lpath}:{lline}"))
+        graph: dict[str, set[str]] = {}
+        for a, b in edges:
+            graph.setdefault(a, set()).add(b)
+        out = []
+        reported = set()
+        for (a, b), (path, line, _) in sorted(edges.items()):
+            # Cycle through this edge iff b reaches a; shortest path back via BFS.
+            parents: dict[str, str | None] = {b: None}
+            queue = [b]
+            found = a in parents
+            while queue and not found:
+                cur = queue.pop(0)
+                for nxt in sorted(graph.get(cur, ())):
+                    if nxt not in parents:
+                        parents[nxt] = cur
+                        queue.append(nxt)
+                        if nxt == a:
+                            found = True
+                            break
+            if not found:
+                continue
+            back = []
+            node: str | None = a
+            while node is not None:
+                back.append(node)
+                node = parents[node]
+            cycle = [a] + list(reversed(back))  # a -> b -> ... -> a
+            key = frozenset(cycle)
+            if key in reported:
+                continue
+            reported.add(key)
+            steps = []
+            for i in range(len(cycle) - 1):
+                e = edges.get((cycle[i], cycle[i + 1]))
+                steps.append(e[2] if e else f"{cycle[i]} -> {cycle[i + 1]}")
+            out.append(Finding(
+                self.name, path, line,
+                "lock-order cycle " + " -> ".join(cycle) + "; witness: "
+                + "; ".join(steps)))
+        return out
+
+
+class AnnotationCoverageRule(Rule):
+    """Observer-hook implementers (PageEventSink / AccessObserver /
+    TimeObserver subclasses) are invoked from every instrumented fiber, so
+    each of their mutable data members is shared state. Every such member
+    must either be GUARDED_BY a lock or carry PLATINUM_FIBER_SHARED, the
+    explicit intentional-sharing annotation for single-host-thread state
+    (src/base/thread_annotations.h)."""
+
+    name = "annotation-coverage"
+    description = ("Un-annotated shared mutable members of observer-hook "
+                   "implementers (need GUARDED_BY or PLATINUM_FIBER_SHARED).")
+
+    HOOK_ROOTS = {"PageEventSink", "AccessObserver", "TimeObserver"}
+    LOCK_TYPES = {"DisciplineLock", "SpinLock"}
+
+    def run(self, model: RepoModel) -> list[Finding]:
+        out = []
+        for fd in model.field_decls:
+            if not fd.path.startswith("src/"):
+                continue
+            if fd.cls in self.HOOK_ROOTS or not model.derives_from(fd.cls, self.HOOK_ROOTS):
+                continue
+            if fd.guarded or fd.shared or fd.type_base in self.LOCK_TYPES:
+                continue
+            sf = model.files[fd.path]
+            out.append(Finding(
+                self.name, fd.path, fd.line,
+                f"{fd.cls}::{fd.name} is mutable state of an observer-hook "
+                "implementer (reachable from every instrumented fiber) but has "
+                "neither GUARDED_BY(lock) nor PLATINUM_FIBER_SHARED",
+                sf.raw_lines[fd.line - 1].strip()))
+        out.sort(key=lambda f: (f.path, f.line))
+        return out
+
+
 ALL_RULES: list[Rule] = [
     WallClockRule(),
     RandomnessRule(),
@@ -395,6 +770,9 @@ ALL_RULES: list[Rule] = [
     PointerEscapeRule(),
     NoYieldRule(),
     YieldUnderLockRule(),
+    ProtocolConformanceRule(),
+    LockOrderRule(),
+    AnnotationCoverageRule(),
 ]
 
 RULES_BY_NAME = {r.name: r for r in ALL_RULES}

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Frontend parity check for platlint: the textual model and the clang AST
+# frontend must report the identical finding set over src/. Divergence means
+# one frontend missed a call edge or a Cpage mutation site the other saw.
+#
+# Exit 0 on agreement, 1 on divergence, 77 (ctest SKIP_RETURN_CODE) when no
+# clang++ or compile database is available — the check needs a real AST.
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+lint="$root/tools/platlint/platlint.py"
+
+have_clang=0
+for c in clang++ clang++-18 clang++-17 clang++-16 clang++-15; do
+  if command -v "$c" >/dev/null 2>&1; then
+    have_clang=1
+    break
+  fi
+done
+if [ "$have_clang" -eq 0 ]; then
+  echo "platlint_parity: no clang++ on PATH; skipping"
+  exit 77
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+python3 "$lint" --root "$root" --json >"$tmp/text.json" 2>"$tmp/text.err"
+text_rc=$?
+python3 "$lint" --root "$root" --json --frontend clang \
+  >"$tmp/clang.json" 2>"$tmp/clang.err"
+clang_rc=$?
+
+if [ "$clang_rc" -eq 2 ]; then
+  # Clang present but unusable (e.g. no compile_commands.json yet).
+  echo "platlint_parity: clang frontend unavailable; skipping"
+  sed 's/^/  /' "$tmp/clang.err"
+  exit 77
+fi
+
+if ! diff -u "$tmp/text.json" "$tmp/clang.json"; then
+  echo "platlint_parity: FRONTENDS DISAGREE (text rc=$text_rc, clang rc=$clang_rc)"
+  exit 1
+fi
+if [ "$text_rc" -ne "$clang_rc" ]; then
+  echo "platlint_parity: identical findings but different exit codes" \
+    "(text rc=$text_rc, clang rc=$clang_rc)"
+  exit 1
+fi
+
+count="$(python3 -c 'import json,sys; print(len(json.load(open(sys.argv[1]))))' "$tmp/text.json")"
+echo "platlint_parity: frontends agree ($count finding(s), rc=$text_rc)"
+exit "$text_rc"
