@@ -23,6 +23,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "src/base/thread_annotations.h"
 #include "src/obs/export.h"
 #include "src/obs/json.h"
 #include "src/sim/machine.h"
@@ -32,7 +33,11 @@ namespace platinum::bench {
 
 // Integer environment knob. Aborts on malformed values (e.g.
 // PLATINUM_GAUSS_N=8oo) instead of silently running the wrong experiment.
-inline int EnvInt(const char* name, int fallback) {
+// DETERMINISTIC_SANITIZED: the parsed knob is part of the experiment's
+// invocation identity — the same invocation (binary + args + environment)
+// always sees the same value, and every knob is echoed in the output — so
+// its result does not carry host taint (docs/STATIC_ANALYSIS.md).
+PLATINUM_DETERMINISTIC_SANITIZED inline int EnvInt(const char* name, int fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr) {
     return fallback;
@@ -59,7 +64,10 @@ class SweepRunner {
  public:
   // `workers` <= 0 selects PLATINUM_BENCH_WORKERS, defaulting to the host's
   // hardware concurrency; 1 runs the sweep serially on the calling thread.
-  explicit SweepRunner(int workers = 0) : workers_(workers) {
+  // HOST_ONLY: the worker count shapes host-side scheduling only — results
+  // are keyed by point index, so sim output is identical for any count
+  // (enforced by tools/bench_sweep_check.sh).
+  PLATINUM_HOST_ONLY explicit SweepRunner(int workers = 0) : workers_(workers) {
     if (workers_ <= 0) {
       workers_ = EnvInt("PLATINUM_BENCH_WORKERS", 0);
     }
@@ -74,8 +82,11 @@ class SweepRunner {
   int workers() const { return workers_; }
 
   // Runs fn(0) .. fn(n-1) and returns their results in index order.
+  // HOST_ONLY: sharding is host-side; the index-keyed results make the
+  // output independent of which host thread ran which point.
   template <typename Fn>
-  auto Map(int n, Fn&& fn) const -> std::vector<std::invoke_result_t<Fn&, int>> {
+  PLATINUM_HOST_ONLY auto Map(int n, Fn&& fn) const
+      -> std::vector<std::invoke_result_t<Fn&, int>> {
     std::vector<std::invoke_result_t<Fn&, int>> results(static_cast<size_t>(n));
     if (workers_ <= 1 || n <= 1) {
       for (int i = 0; i < n; ++i) {
@@ -224,7 +235,11 @@ inline void PrintPaperNote(const char* note) { std::printf("paper: %s\n", note);
 // When PLATINUM_JSON_DIR is set, writes the table as
 // $PLATINUM_JSON_DIR/<bench_name>.json so plotting scripts can pick the
 // series up without scraping stdout. A no-op otherwise.
-inline void MaybeWriteJson(const SpeedupTable& table, const std::string& bench_name) {
+// HOST_ONLY: the environment chooses *where* the artifact lands on the
+// host filesystem; the artifact's *content* (the table) is sim-derived and
+// unaffected.
+PLATINUM_HOST_ONLY inline void MaybeWriteJson(const SpeedupTable& table,
+                                              const std::string& bench_name) {
   const char* dir = std::getenv("PLATINUM_JSON_DIR");
   if (dir == nullptr || dir[0] == '\0') {
     return;

@@ -103,4 +103,33 @@
 #define PLATINUM_FIBER_SHARED  // recognized textually by tools/platlint
 #endif
 
+// --- Determinism-taint annotations (checked by tools/platlint) ---------------
+//
+// The `determinism-taint` rule tracks host-nondeterministic values (wall
+// clock, ambient randomness, pointer order, unordered-container iteration,
+// host thread ids, environment reads) through assignments, returns and call
+// arguments, and rejects any flow into sim-visible state (src/sim, src/mem,
+// src/kernel, or the trace/stats/JSON emission classes).  Two annotations
+// declare the sanctioned escape hatches:
+//
+// PLATINUM_HOST_ONLY marks a function whose entire effect is host-side
+// (artifact paths, worker pools, progress output).  Its body is exempt from
+// sink checking and calling it is never a sink — but a host-derived value it
+// *returns* still carries taint, so host facts cannot re-enter the
+// simulation through it.
+//
+// PLATINUM_DETERMINISTIC_SANITIZED marks a validating funnel: the function
+// may read host state, but its result is part of the experiment's invocation
+// identity (e.g. a parsed, validated environment knob that is also printed
+// in the output).  Its return value is considered clean.  Use sparingly;
+// every annotation is a determinism claim reviewed like a lock annotation.
+#if defined(__clang__) && !defined(SWIG)
+#define PLATINUM_HOST_ONLY __attribute__((annotate("platinum::host_only")))
+#define PLATINUM_DETERMINISTIC_SANITIZED \
+  __attribute__((annotate("platinum::deterministic_sanitized")))
+#else
+#define PLATINUM_HOST_ONLY  // recognized textually by tools/platlint
+#define PLATINUM_DETERMINISTIC_SANITIZED  // recognized textually by tools/platlint
+#endif
+
 #endif  // SRC_BASE_THREAD_ANNOTATIONS_H_

@@ -11,8 +11,13 @@
 //     rows of the trigger that fired);
 //   * a state mutation smuggled past the sanctioned funnel must abort at the
 //     next transition with a protocol-spec violation.
+//   * the spec-level proof (tools/gen_protocol_spec.py --verify, baked into
+//     protocol_spec.gen.h) must agree with the concrete closure: a row the
+//     symbolic closure covers but no exploration traverses would be a proof
+//     about an idealized machine, and vice versa an unsound abstraction.
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <set>
 #include <sstream>
 #include <string>
@@ -21,6 +26,7 @@
 #include "src/check/explorer.h"
 #include "src/check/oracle.h"
 #include "src/mem/cpage.h"
+#include "src/mem/protocol_spec.gen.h"
 #include "src/mem/protocol_spec.h"
 #include "tests/test_util.h"
 
@@ -113,6 +119,43 @@ TEST(ProtocolSpecExplorerTest, ClosedStateSpacesCoverExactlyTheSpec) {
   EXPECT_TRUE(extra.empty()) << "explored edges absent from the spec:\n" << Describe(extra);
   EXPECT_EQ(state_mask, mem::ProtocolReachableStateMask())
       << "explorer did not visit every state the spec declares reachable";
+
+  // Cross-check against the spec-level proof: within the explorer's alphabet
+  // (read / write / thaw), a row is covered by the symbolic closure iff some
+  // concrete exploration traversed it, and both closures see the same states.
+  for (size_t i = 0; i < std::size(mem::spec_gen::kEdges); ++i) {
+    const mem::spec_gen::EdgeRow& row = mem::spec_gen::kEdges[i];
+    auto trigger = static_cast<mem::ProtocolTrigger>(row.trigger);
+    if (trigger != mem::ProtocolTrigger::kRead && trigger != mem::ProtocolTrigger::kWrite &&
+        trigger != mem::ProtocolTrigger::kThaw) {
+      continue;
+    }
+    mem::ProtocolEdge edge{trigger, static_cast<mem::CpageState>(row.from),
+                           static_cast<mem::CpageState>(row.to)};
+    bool proven = (mem::spec_gen::kProofCoveredRowMask >> i) & 1;
+    EXPECT_EQ(proven, observed.count(edge) == 1)
+        << EdgeName(edge) << ": symbolic closure and explorer closure disagree";
+  }
+  EXPECT_EQ(state_mask, mem::spec_gen::kProofStateMask)
+      << "symbolic closure reaches different states than the explorer";
+}
+
+// The baked-in proof certifies the whole spec: every event row is exercised
+// by the symbolic closure, its state mask equals the spec's reachable mask,
+// and the headline safety theorems are among the proved properties.
+TEST(ProtocolSpecProofTest, ProofCoversEveryRowAndProvesSafety) {
+  constexpr uint32_t kAllRows =
+      (uint32_t{1} << std::size(mem::spec_gen::kEdges)) - 1;
+  EXPECT_EQ(mem::spec_gen::kProofCoveredRowMask, kAllRows)
+      << "spec rows the symbolic closure never exercises";
+  EXPECT_EQ(mem::spec_gen::kProofStateMask, mem::ProtocolReachableStateMask());
+  std::set<std::string> properties;
+  for (const char* name : mem::spec_gen::kProvedProperties) {
+    properties.insert(name);
+  }
+  for (const char* want : {"swmr", "rights-domination", "no-stuck-state"}) {
+    EXPECT_EQ(properties.count(want), 1u) << "property not proved: " << want;
+  }
 }
 
 // Host-driven triggers: pin, replicate-to, and unbind, each exercised from

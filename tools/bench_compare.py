@@ -15,29 +15,47 @@ The gate enforces two properties, mirroring docs/PERFORMANCE.md:
     The simulator is deterministic; any sim_seconds drift means simulated
     behavior changed, which is a different bug than a slow host.
 
+A degenerate comparison is a failure, not a silent pass: a bench present in
+only one report, a metric reported on only one side of a shared bench, or a
+non-positive accesses_per_sec all fail the gate — each of those means the
+reports do not actually cover each other.
+
 The two reports must describe the same configuration (host.small/host.full);
-comparing a small run against a full run is a usage error (exit 2).
+comparing a small run against a full run is a usage error (exit 2), as are
+an unreadable file, malformed JSON, and an unknown schema.
 
 Exit codes: 0 ok, 1 regression or sim mismatch, 2 usage/config error.
 
 --selftest verifies the gate actually fires: a synthetic 2x throughput
-regression and a synthetic sim_seconds drift must both fail, and an
-identical pair must pass.
+regression and a synthetic sim_seconds drift must both fail, an identical
+pair must pass, and each degenerate-input case above must be rejected.
 """
 
 import argparse
 import copy
 import json
+import os
 import sys
+import tempfile
 
 DEFAULT_MAX_REGRESSION = 0.10
 
 
+def die(msg):
+    print(msg, file=sys.stderr)
+    raise SystemExit(2)
+
+
 def load(path):
-    with open(path) as f:
-        doc = json.load(f)
-    if doc.get("schema") != "platinum-bench-report-v1":
-        raise SystemExit(f"error: {path} is not a platinum-bench-report-v1 document")
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        die(f"error: cannot read {path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        die(f"error: {path} is not valid JSON: {e}")
+    if not isinstance(doc, dict) or doc.get("schema") != "platinum-bench-report-v1":
+        die(f"error: {path} is not a platinum-bench-report-v1 document")
     return doc
 
 
@@ -47,7 +65,12 @@ def compare(base, cand, max_regression):
     floor = 1.0 - max_regression
 
     def check_throughput(label, b, c):
-        if b <= 0:
+        if not isinstance(b, (int, float)) or not isinstance(c, (int, float)) \
+                or b <= 0 or c <= 0:
+            failures.append(
+                f"{label}: non-positive or non-numeric accesses_per_sec "
+                f"({b!r} -> {c!r}); the report is malformed"
+            )
             return
         if c < b * floor:
             failures.append(
@@ -59,19 +82,25 @@ def compare(base, cand, max_regression):
         if b != c:
             failures.append(f"{label}: sim_seconds changed {b!r} -> {c!r} (must match exactly)")
 
-    bt, ct = base.get("totals", {}), cand.get("totals", {})
-    if "accesses_per_sec" in bt and "accesses_per_sec" in ct:
-        check_throughput("totals", bt["accesses_per_sec"], ct["accesses_per_sec"])
-    if "sim_seconds" in bt and "sim_seconds" in ct:
-        check_sim("totals", bt["sim_seconds"], ct["sim_seconds"])
+    def check_pair(label, b, c):
+        for key, check in (("accesses_per_sec", check_throughput),
+                           ("sim_seconds", check_sim)):
+            if (key in b) != (key in c):
+                side = "baseline" if key in b else "candidate"
+                failures.append(f"{label}: {key} reported only by the {side}")
+            elif key in b:
+                check(label, b[key], c[key])
 
-    benches = sorted(set(base.get("benches", {})) & set(cand.get("benches", {})))
-    for name in benches:
-        b, c = base["benches"][name], cand["benches"][name]
-        if "accesses_per_sec" in b and "accesses_per_sec" in c:
-            check_throughput(name, b["accesses_per_sec"], c["accesses_per_sec"])
-        if "sim_seconds" in b and "sim_seconds" in c:
-            check_sim(name, b["sim_seconds"], c["sim_seconds"])
+    check_pair("totals", base.get("totals", {}), cand.get("totals", {}))
+
+    base_names = set(base.get("benches", {}))
+    cand_names = set(cand.get("benches", {}))
+    for name in sorted(base_names - cand_names):
+        failures.append(f"{name}: present only in the baseline (bench disappeared)")
+    for name in sorted(cand_names - base_names):
+        failures.append(f"{name}: present only in the candidate (no baseline to compare)")
+    for name in sorted(base_names & cand_names):
+        check_pair(name, base["benches"][name], cand["benches"][name])
     return failures
 
 
@@ -81,6 +110,18 @@ def config_mismatch(base, cand):
         if bh.get(key) != ch.get(key):
             return f"host.{key} differs ({bh.get(key)!r} vs {ch.get(key)!r})"
     return None
+
+
+def expect_load_rejects(path, why):
+    try:
+        load(path)
+    except SystemExit as e:
+        if e.code == 2:
+            return True
+        print(f"selftest FAILED: {why} exited {e.code}, not 2")
+        return False
+    print(f"selftest FAILED: {why} was accepted")
+    return False
 
 
 def selftest():
@@ -120,7 +161,52 @@ def selftest():
         print("selftest FAILED: -5% flagged at a 10% threshold")
         return 1
 
-    print("selftest OK: gate fires on injected regression and sim drift")
+    dropped = copy.deepcopy(base)
+    del dropped["benches"]["lat_faults"]
+    if not any("only in the baseline" in f
+               for f in compare(base, dropped, DEFAULT_MAX_REGRESSION)):
+        print("selftest FAILED: disappeared bench not caught")
+        return 1
+    if not any("only in the candidate" in f
+               for f in compare(dropped, base, DEFAULT_MAX_REGRESSION)):
+        print("selftest FAILED: baseline-less bench not caught")
+        return 1
+
+    silent = copy.deepcopy(base)
+    del silent["benches"]["abl_policy"]["accesses_per_sec"]
+    if not any("reported only by the baseline" in f
+               for f in compare(base, silent, DEFAULT_MAX_REGRESSION)):
+        print("selftest FAILED: vanished accesses_per_sec not caught")
+        return 1
+
+    zero = copy.deepcopy(base)
+    zero["benches"]["abl_policy"]["accesses_per_sec"] = 0.0
+    if not any("non-positive" in f
+               for f in compare(base, zero, DEFAULT_MAX_REGRESSION)):
+        print("selftest FAILED: zero accesses_per_sec not caught")
+        return 1
+    if not any("non-positive" in f
+               for f in compare(zero, base, DEFAULT_MAX_REGRESSION)):
+        print("selftest FAILED: zero baseline accesses_per_sec not caught")
+        return 1
+
+    # Unreadable / malformed / mis-schema'd inputs must die with exit 2 (the
+    # stderr lines below are the rejections under test, not real errors).
+    with tempfile.TemporaryDirectory() as tmp:
+        malformed = os.path.join(tmp, "malformed.json")
+        with open(malformed, "w") as f:
+            f.write("{not json")
+        wrong = os.path.join(tmp, "wrong_schema.json")
+        with open(wrong, "w") as f:
+            json.dump({"schema": "not-a-bench-report"}, f)
+        for path, why in ((malformed, "malformed JSON"),
+                          (wrong, "unknown schema"),
+                          (os.path.join(tmp, "absent.json"), "missing file")):
+            if not expect_load_rejects(path, why):
+                return 1
+
+    print("selftest OK: gate fires on injected regression, sim drift, and "
+          "degenerate reports")
     return 0
 
 

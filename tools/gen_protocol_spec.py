@@ -15,29 +15,69 @@ Validation performed before emitting anything:
     to `to` (an empty chain is only valid for a self-edge);
   * `mutation_files` exist in the repo (with --root).
 
+On top of validation, the spec-level verifier (always run; reported and
+cross-checked against the committed proof artifact with --verify) closes
+the abstract state space
+
+    (cpage state, frozen flag, per-processor translation rights)
+
+for 2 and 3 processors under every trigger, using the declarative
+`micro_semantics` section of the spec, and proves:
+
+  * swmr                   — a write mapping implies the page is in the
+                             single writable-copy state (`modified`); a
+                             replicated page is never writable;
+  * rights-domination      — any mapping implies the page holds a copy;
+                             a write mapping implies a writable state;
+  * micro-copy-consistency — every micro row's from/to states agree with
+                             the declared copy effect of its event;
+  * maps-consistency       — no event row grants rights its to-state
+                             cannot honor;
+  * no-stuck-state         — every read/write fault in every reachable
+                             abstract state has a spec row to take, and
+                             every frozen placed page has a thaw row;
+  * no-unreachable-rows    — every event row is exercised by the closure.
+
+The proof is baked into the generated header (kProofCoveredRowMask,
+kProofStateMask, kProvedProperties) and written as a machine-readable
+artifact to src/mem/protocol_proof.json; tests/protocol_spec_test.cc
+cross-checks the proof's closure against the C++ bounded explorer's.
+
 Usage:
   gen_protocol_spec.py [--root DIR]            # (re)write protocol_spec.gen.h
-  gen_protocol_spec.py [--root DIR] --check    # fail if the header is stale
+  gen_protocol_spec.py [--root DIR] --verify   # ... and protocol_proof.json
+  gen_protocol_spec.py [--root DIR] --check [--verify]
+                                               # fail if header/proof stale
+  gen_protocol_spec.py --selftest              # verifier catches mutated specs
 
-Exit status: 0 ok, 1 stale header or invalid spec.
+Exit status: 0 ok, 1 stale output, invalid spec, or failed proof.
 """
 
 from __future__ import annotations
 
 import argparse
+import copy
+import hashlib
 import json
 import os
 import sys
+from collections import deque
 
 DEFAULT_ROOT = os.path.normpath(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
 SPEC_REL = "src/mem/protocol_spec.json"
 HEADER_REL = "src/mem/protocol_spec.gen.h"
+PROOF_REL = "src/mem/protocol_proof.json"
+
+PROCESSOR_COUNTS = (2, 3)
+
+
+class SpecError(Exception):
+    """Raised for any invalid-spec or failed-proof condition."""
 
 
 def fail(msg: str) -> None:
-    print(f"gen_protocol_spec: {msg}", file=sys.stderr)
-    sys.exit(1)
+    raise SpecError(msg)
 
 
 def load_spec(root: str) -> dict:
@@ -117,7 +157,316 @@ def validate(spec: dict, root: str | None) -> None:
                 fail(f"mutation_files entry does not exist: {rel}")
 
 
-def emit(spec: dict) -> str:
+# --------------------------------------------------------------------------
+# Spec-level verification: a symbolic closure over the abstraction
+#   (cpage state, frozen flag, rights[processor] in {none, read, write})
+# driven purely by the spec's rows and the declarative micro_semantics.
+
+RIGHT_NONE, RIGHT_R, RIGHT_W = 0, 1, 2
+RIGHT_NAMES = {RIGHT_NONE: "n", RIGHT_R: "r", RIGHT_W: "w"}
+
+PROVED_PROPERTIES = (
+    "swmr",
+    "rights-domination",
+    "micro-copy-consistency",
+    "maps-consistency",
+    "no-stuck-state",
+    "frozen-thaw-escape",
+    "no-unreachable-rows",
+)
+
+
+def _semantics(spec: dict) -> dict:
+    sem = spec.get("micro_semantics")
+    if sem is None:
+        fail("spec has no micro_semantics section (required by the verifier)")
+    return sem
+
+
+def _verify_static(spec: dict, sem: dict) -> None:
+    """Row-local proofs: declaration completeness, copy and maps consistency."""
+    states = spec["states"]
+    attrs = sem["state_attributes"]
+    effects = sem["micro_effects"]
+    trigger_fx = sem["trigger_effects"]
+
+    for s in states:
+        if s not in attrs:
+            fail(f"micro_semantics: state '{s}' has no state_attributes entry")
+    for s in attrs:
+        if s not in states:
+            fail(f"micro_semantics: state_attributes names unknown state '{s}'")
+    for e in spec["micro_events"]:
+        if e not in effects:
+            fail(f"micro_semantics: micro event '{e}' has no micro_effects entry")
+    for e in effects:
+        if e not in spec["micro_events"]:
+            fail(f"micro_semantics: micro_effects names unknown event '{e}'")
+    for t in spec["triggers"]:
+        if t not in trigger_fx:
+            fail(f"micro_semantics: trigger '{t}' has no trigger_effects entry")
+    for t in trigger_fx:
+        if t not in spec["triggers"]:
+            fail(f"micro_semantics: trigger_effects names unknown trigger '{t}'")
+
+    # micro-copy-consistency: each SetState step's declared copy effect must
+    # agree with the copy counts of its from/to states. This is where a
+    # "second writable copy" forgery dies: a copy-adding micro cannot land in
+    # a single-copy state, so no via chain can replicate and stay `modified`.
+    for row in spec["micro_transitions"]:
+        kind = effects[row["event"]]["copies"]
+        fc = attrs[row["from"]]["copies"]
+        tc = attrs[row["to"]]["copies"]
+        key = (row["from"], row["event"], row["to"])
+        ok = ((kind == "fill" and fc == "none" and tc == "one")
+              or (kind == "add" and fc in ("one", "many") and tc == "many")
+              or (kind == "to-one" and fc != "none" and tc == "one")
+              or (kind == "keep" and fc == tc and fc != "none"))
+        if not ok:
+            fail(f"micro-copy-consistency: micro transition {key} is "
+                 f"inconsistent with '{row['event']}' copies effect '{kind}' "
+                 f"({row['from']} holds {fc} copies, {row['to']} holds {tc})")
+
+    # maps-consistency: a row may only grant rights its to-state can honor.
+    for row in spec["event_transitions"]:
+        key = (row["trigger"], row["from"], row["to"])
+        to_attr = attrs[row["to"]]
+        if row["maps"] == "rw" and not to_attr["writable"]:
+            fail(f"maps-consistency: event transition {key} grants rw but "
+                 f"'{row['to']}' is not a writable state")
+        if row["maps"] in ("r", "rw") and to_attr["copies"] == "none":
+            fail(f"maps-consistency: event transition {key} grants a mapping "
+                 f"but '{row['to']}' holds no copy")
+
+
+def _chains_of(row: dict) -> list[tuple[str, ...]]:
+    return [tuple(row["via"])] + [tuple(c) for c in row.get("alt_via", [])]
+
+
+def _chain_frozen_ok(chain: tuple[str, ...], effects: dict) -> bool:
+    return all(not effects[e].get("requires_unfrozen", False) for e in chain)
+
+
+def _apply_chain(chain, rights, actor, effects):
+    """Applies a via chain's declared rights effects; actor < 0 for host."""
+    rights = list(rights)
+    for ev in chain:
+        fx = effects[ev]
+        if fx.get("downgrades") == "writers":
+            rights = [RIGHT_R if x == RIGHT_W else x for x in rights]
+        inv = fx.get("invalidates", "none")
+        if inv == "others":
+            rights = [x if p == actor else RIGHT_NONE
+                      for p, x in enumerate(rights)]
+        elif inv == "all":
+            rights = [RIGHT_NONE] * len(rights)
+    return rights
+
+
+def _state_name(spec, astate):
+    s, frozen, rights = astate
+    r = "".join(RIGHT_NAMES[x] for x in rights)
+    return f"({s}, {'frozen' if frozen else 'thawed'}, rights={r})"
+
+
+def _witness(spec, parents, astate) -> str:
+    steps = []
+    cur = astate
+    while cur in parents and parents[cur] is not None:
+        prev, desc = parents[cur]
+        steps.append(f"  {_state_name(spec, prev)} --{desc}--> "
+                     f"{_state_name(spec, cur)}")
+        cur = prev
+    steps.append(f"  initial {_state_name(spec, cur)}")
+    return "\n".join(reversed(steps))
+
+
+def _close(spec: dict, sem: dict, num_procs: int):
+    """BFS closure for one processor count.
+
+    Returns (abstract state count, transition count, covered row indices,
+    state mask). Raises SpecError with a witness path on any property
+    violation or stuck state.
+    """
+    attrs = sem["state_attributes"]
+    effects = sem["micro_effects"]
+    trigger_fx = sem["trigger_effects"]
+    rows = spec["event_transitions"]
+    rows_by = {}
+    for i, row in enumerate(rows):
+        rows_by.setdefault((row["trigger"], row["from"]), []).append((i, row))
+    self_row = {(row["trigger"], row["from"]): i
+                for i, row in enumerate(rows) if row["from"] == row["to"]}
+    states_idx = {s: i for i, s in enumerate(spec["states"])}
+
+    def grant(rights, actor, maps):
+        rights = list(rights)
+        if actor >= 0 and maps != "none":
+            want = RIGHT_W if maps == "rw" else RIGHT_R
+            rights[actor] = max(rights[actor], want)
+        return tuple(rights)
+
+    # Placement advice can freeze a page before its first touch, so both
+    # frozen flavors of the untouched state seed the frontier.
+    initial = [(spec["states"][0], 0, (RIGHT_NONE,) * num_procs),
+               (spec["states"][0], 1, (RIGHT_NONE,) * num_procs)]
+    parents = {s: None for s in initial}
+    frontier = deque(initial)
+    covered: set[int] = set()
+    transitions = 0
+    state_mask = 0
+
+    def check_properties(astate):
+        s, _frozen, rights = astate
+        a = attrs[s]
+        if any(x == RIGHT_W for x in rights) and not a["writable"]:
+            fail(f"swmr violated for {num_procs} processors: a processor "
+                 f"holds a write mapping while the page is '{s}' (not the "
+                 f"single writable copy); witness:\n"
+                 + _witness(spec, parents, astate))
+        if any(x != RIGHT_NONE for x in rights) and a["copies"] == "none":
+            fail(f"rights-domination violated for {num_procs} processors: a "
+                 f"mapping exists while '{s}' holds no copy; witness:\n"
+                 + _witness(spec, parents, astate))
+
+    def visit(astate, prev, desc):
+        nonlocal transitions
+        transitions += 1
+        if astate not in parents:
+            parents[astate] = (prev, desc)
+            check_properties(astate)
+            frontier.append(astate)
+
+    for seed in initial:
+        check_properties(seed)
+
+    while frontier:
+        astate = frontier.popleft()
+        s, frozen, rights = astate
+        state_mask |= 1 << states_idx[s]
+
+        # Memory accesses: a hit needs no spec row (it records the self-edge
+        # when one exists); a fault must find a row, else the machine has no
+        # sanctioned way to service the reference — a stuck state.
+        for actor in range(num_procs):
+            for trig, need in (("read", RIGHT_R), ("write", RIGHT_W)):
+                if rights[actor] >= need:
+                    if (trig, s) in self_row:
+                        covered.add(self_row[(trig, s)])
+                    continue
+                serviced = False
+                for i, row in rows_by.get((trig, s), []):
+                    for chain in _chains_of(row):
+                        frozen_ok = _chain_frozen_ok(chain, effects)
+                        if frozen and not frozen_ok:
+                            continue
+                        serviced = True
+                        covered.add(i)
+                        nr = grant(_apply_chain(chain, rights, actor, effects),
+                                   actor, row["maps"])
+                        desc = (f"p{actor} {trig}-fault row {trig}: "
+                                f"{row['from']} -> {row['to']} via "
+                                f"[{' '.join(chain) or 'self'}]")
+                        # A frozen page stays frozen until thawed; an
+                        # unfrozen fault may freeze iff the policy declined
+                        # to re-place the page (no replicate/migrate step).
+                        for nf in ((1,) if frozen
+                                   else ((0, 1) if frozen_ok else (0,))):
+                            visit((row["to"], nf, nr), astate, desc)
+                if not serviced:
+                    fail(f"no-stuck-state violated for {num_procs} "
+                         f"processors: a p{actor} {trig} fault on a "
+                         f"{'frozen ' if frozen else ''}'{s}' page has no "
+                         f"spec row to take; witness:\n"
+                         + _witness(spec, parents, astate))
+
+        # Host-driven triggers: thaw / pin / replicate-to / unbind.
+        for trig in spec["triggers"]:
+            fx = trigger_fx[trig]
+            if trig in ("read", "write"):
+                continue
+            if fx.get("requires_frozen") and not frozen:
+                continue
+            if fx.get("requires_unfrozen") and frozen:
+                continue
+            applicable = rows_by.get((trig, s), [])
+            if trig == "thaw" and frozen and not applicable \
+                    and attrs[s]["copies"] != "none":
+                fail(f"frozen-thaw-escape violated for {num_procs} "
+                     f"processors: a frozen '{s}' page has no thaw row; "
+                     f"witness:\n" + _witness(spec, parents, astate))
+            for i, row in applicable:
+                for chain in _chains_of(row):
+                    if frozen and not _chain_frozen_ok(chain, effects):
+                        continue
+                    covered.add(i)
+                    nr = _apply_chain(chain, rights, -1, effects)
+                    if fx.get("invalidates") == "all":
+                        nr = [RIGHT_NONE] * num_procs
+                    nf = frozen
+                    if fx.get("sets_frozen"):
+                        nf = 1
+                    if fx.get("clears_frozen"):
+                        nf = 0
+                    desc = (f"host {trig} row {trig}: {row['from']} -> "
+                            f"{row['to']} via [{' '.join(chain) or 'self'}]")
+                    visit((row["to"], nf, tuple(nr)), astate, desc)
+
+    return len(parents), transitions, covered, state_mask
+
+
+def verify(spec: dict) -> dict:
+    """Proves the spec safe; returns the machine-readable proof."""
+    sem = _semantics(spec)
+    _verify_static(spec, sem)
+
+    rows = spec["event_transitions"]
+    covered_all: set[int] = set()
+    state_mask = 0
+    closures = {}
+    for num_procs in PROCESSOR_COUNTS:
+        n_states, n_trans, covered, mask = _close(spec, sem, num_procs)
+        closures[str(num_procs)] = {
+            "abstract_states": n_states,
+            "transitions": n_trans,
+        }
+        covered_all |= covered
+        state_mask |= mask
+
+    uncovered = [i for i in range(len(rows)) if i not in covered_all]
+    if uncovered:
+        names = [(rows[i]["trigger"], rows[i]["from"], rows[i]["to"])
+                 for i in uncovered]
+        fail(f"no-unreachable-rows violated: event rows never exercised by "
+             f"the symbolic closure: {names}")
+
+    mask_bits = 0
+    for i in covered_all:
+        mask_bits |= 1 << i
+    return {
+        "schema": "platinum-protocol-proof-v1",
+        "generator": "tools/gen_protocol_spec.py --verify",
+        "spec": SPEC_REL,
+        "spec_sha256": hashlib.sha256(
+            json.dumps(spec, sort_keys=True).encode("utf-8")).hexdigest(),
+        "processor_counts": list(PROCESSOR_COUNTS),
+        "properties": list(PROVED_PROPERTIES),
+        "closures": closures,
+        "covered_rows": [
+            {"trigger": rows[i]["trigger"], "from": rows[i]["from"],
+             "to": rows[i]["to"]}
+            for i in sorted(covered_all)
+        ],
+        "covered_row_mask": mask_bits,
+        "state_mask": state_mask,
+    }
+
+
+def proof_text(proof: dict) -> str:
+    return json.dumps(proof, indent=2, sort_keys=True) + "\n"
+
+
+def emit(spec: dict, proof: dict) -> str:
     states = spec["states"]
     triggers = spec["triggers"]
     s_idx = {s: i for i, s in enumerate(states)}
@@ -168,40 +517,177 @@ def emit(spec: dict) -> str:
     lines.append("// Bit i set iff state i appears in some allowed transition.")
     lines.append(f"inline constexpr uint32_t kReachableStateMask = 0x{mask:x};")
     lines.append("")
+    lines.append("// ---- Spec-level proof (tools/gen_protocol_spec.py "
+                 "--verify) ----")
+    lines.append("// Properties proved by the symbolic closure over (state, "
+                 "frozen, per-")
+    counts = " and ".join(str(p) for p in proof["processor_counts"])
+    lines.append(f"// processor rights) for {counts} processors; "
+                 "src/mem/protocol_proof.json is the")
+    lines.append("// machine-readable artifact, tests/protocol_spec_test.cc "
+                 "the cross-check")
+    lines.append("// against the bounded explorer's concrete closure.")
+    props = ", ".join(f'"{p}"' for p in proof["properties"])
+    lines.append("inline constexpr const char* kProvedProperties[] = "
+                 f"{{{props}}};")
+    lines.append("// Bit i set iff kEdges[i] is exercised by the symbolic "
+                 "closure.")
+    lines.append("inline constexpr uint32_t kProofCoveredRowMask = "
+                 f"0x{proof['covered_row_mask']:x};")
+    lines.append("// Bit i set iff state i appears in some reachable "
+                 "abstract state.")
+    lines.append("inline constexpr uint32_t kProofStateMask = "
+                 f"0x{proof['state_mask']:x};")
+    lines.append("")
     lines.append("}  // namespace platinum::mem::spec_gen")
     lines.append("")
     lines.append("#endif  // SRC_MEM_PROTOCOL_SPEC_GEN_H_")
     return "\n".join(lines) + "\n"
 
 
+# --------------------------------------------------------------------------
+# Selftest: each mutation below passes structural validation (the chains
+# still compose) but forges a protocol the verifier must refuse to certify.
+
+
+def _event_row(spec: dict, trigger: str, frm: str, to: str) -> dict:
+    for row in spec["event_transitions"]:
+        if (row["trigger"], row["from"], row["to"]) == (trigger, frm, to):
+            return row
+    raise AssertionError(f"selftest: spec has no row ({trigger}, {frm}, {to})")
+
+
+def _mutate_second_writable_copy(spec: dict) -> None:
+    # Replicating while staying `modified` claims a second writable copy:
+    # two processors could then write different copies of the same page.
+    spec["micro_transitions"].append(
+        {"from": "modified", "event": "replicate", "to": "modified"})
+    row = _event_row(spec, "write", "modified", "modified")
+    row["via"] = ["replicate"]
+    row.pop("alt_via", None)
+
+
+def _mutate_read_mapping_on_empty(spec: dict) -> None:
+    # A read mapping to a page that holds no copy dereferences nothing.
+    _event_row(spec, "unbind", "empty", "empty")["maps"] = "r"
+
+
+def _mutate_write_stuck_on_modified(spec: dict) -> None:
+    # Without the write self-row, a second processor's write fault on a
+    # modified page has no sanctioned transition at all.
+    row = _event_row(spec, "write", "modified", "modified")
+    spec["event_transitions"].remove(row)
+
+
+def selftest(root: str) -> int:
+    spec = load_spec(root)
+    validate(spec, root)
+    verify(spec)
+    print("gen_protocol_spec selftest: committed spec verifies clean")
+
+    mutations = [
+        ("second-writable-copy", _mutate_second_writable_copy,
+         "micro-copy-consistency"),
+        ("read-mapping-on-empty", _mutate_read_mapping_on_empty,
+         "maps-consistency"),
+        ("write-stuck-on-modified", _mutate_write_stuck_on_modified,
+         "no-stuck-state"),
+    ]
+    for name, mutate, want in mutations:
+        mutant = copy.deepcopy(spec)
+        mutate(mutant)
+        try:
+            validate(mutant, None)
+        except SpecError as e:
+            print(f"gen_protocol_spec selftest FAIL: mutation '{name}' was "
+                  f"rejected by structural validation ({e}); it must only "
+                  f"be caught by the verifier", file=sys.stderr)
+            return 1
+        try:
+            verify(mutant)
+        except SpecError as e:
+            if want not in str(e):
+                print(f"gen_protocol_spec selftest FAIL: mutation '{name}' "
+                      f"failed for the wrong reason (wanted '{want}'): {e}",
+                      file=sys.stderr)
+                return 1
+            print(f"gen_protocol_spec selftest: mutation '{name}' caught "
+                  f"({want})")
+            continue
+        print(f"gen_protocol_spec selftest FAIL: mutation '{name}' verified "
+              f"clean; the proof would certify a broken protocol",
+              file=sys.stderr)
+        return 1
+    print(f"gen_protocol_spec selftest: {len(mutations)} mutations ok")
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--root", default=DEFAULT_ROOT)
     ap.add_argument("--check", action="store_true",
-                    help="verify the committed header matches the spec")
+                    help="verify the committed outputs match the spec")
+    ap.add_argument("--verify", action="store_true",
+                    help="report the spec-level proof and write (or with "
+                         "--check, check) src/mem/protocol_proof.json")
+    ap.add_argument("--selftest", action="store_true",
+                    help="check the verifier rejects mutated specs")
     args = ap.parse_args(argv)
 
-    spec = load_spec(args.root)
-    validate(spec, args.root)
-    text = emit(spec)
+    try:
+        if args.selftest:
+            return selftest(args.root)
+        spec = load_spec(args.root)
+        validate(spec, args.root)
+        proof = verify(spec)
+    except SpecError as e:
+        print(f"gen_protocol_spec: {e}", file=sys.stderr)
+        return 1
+
+    text = emit(spec, proof)
     header = os.path.join(args.root, HEADER_REL)
+    proof_path = os.path.join(args.root, PROOF_REL)
+    if args.verify:
+        closures = ", ".join(
+            f"{p}p: {c['abstract_states']} states / {c['transitions']} "
+            f"transitions" for p, c in sorted(proof["closures"].items()))
+        print(f"gen_protocol_spec: proved {', '.join(proof['properties'])} "
+              f"({closures})")
     if args.check:
+        stale = []
         try:
             with open(header, encoding="utf-8") as f:
                 current = f.read()
         except FileNotFoundError:
             current = ""
         if current != text:
-            print(f"gen_protocol_spec: {HEADER_REL} is stale; regenerate with "
-                  "`python3 tools/gen_protocol_spec.py`", file=sys.stderr)
+            stale.append(HEADER_REL)
+        if args.verify:
+            try:
+                with open(proof_path, encoding="utf-8") as f:
+                    current_proof = f.read()
+            except FileNotFoundError:
+                current_proof = ""
+            if current_proof != proof_text(proof):
+                stale.append(PROOF_REL)
+        if stale:
+            print(f"gen_protocol_spec: {', '.join(stale)} stale; regenerate "
+                  "with `python3 tools/gen_protocol_spec.py --verify`",
+                  file=sys.stderr)
             return 1
-        print(f"gen_protocol_spec: {HEADER_REL} is in sync with {SPEC_REL}")
+        checked = [HEADER_REL] + ([PROOF_REL] if args.verify else [])
+        print(f"gen_protocol_spec: {', '.join(checked)} in sync with "
+              f"{SPEC_REL}")
         return 0
     with open(header, "w", encoding="utf-8") as f:
         f.write(text)
     print(f"gen_protocol_spec: wrote {HEADER_REL} "
           f"({len(spec['event_transitions'])} event rows, "
           f"{len(spec['micro_transitions'])} micro rows)")
+    if args.verify:
+        with open(proof_path, "w", encoding="utf-8") as f:
+            f.write(proof_text(proof))
+        print(f"gen_protocol_spec: wrote {PROOF_REL}")
     return 0
 
 

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Aggregate lint entry point: one command that runs every static check the
+# repo defines, in the same shape CI's lint job uses. Wired up as the `lint`
+# build target (`cmake --build build --target lint`).
+#
+#   * platlint, full rule set over src/ + bench/ (both frontends when a
+#     clang toolchain is available, plus the frontend-parity diff);
+#   * the platlint fixture selftest (every rule demonstrably fires);
+#   * gen_protocol_spec.py --check --verify (committed header + proof
+#     artifact in sync, spec-level safety proof holds);
+#   * gen_protocol_spec.py --selftest (the verifier rejects forged specs);
+#   * clang-tidy over src/ with the committed .clang-tidy.
+#
+# Checks that need missing tools (clang frontend, clang-tidy) exit 77 and
+# are reported as skipped, mirroring ctest's SKIP_RETURN_CODE convention.
+#
+# Environment knobs:
+#   PLATLINT_BUDGET  seconds allowed for the main platlint run (default 60;
+#                    empty disables the gate)
+#   PLATLINT_SARIF   when set, platlint also writes SARIF 2.1.0 there (CI
+#                    uploads it to code scanning)
+#
+# Usage: lint_all.sh [repo-root] [build-dir]
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+build="${2:-$root/build}"
+budget="${PLATLINT_BUDGET-60}"
+sarif="${PLATLINT_SARIF-}"
+
+failed=()
+skipped=()
+passed=()
+
+run() {
+  local name="$1"
+  shift
+  echo "==== lint: $name ===="
+  "$@"
+  local rc=$?
+  if [ "$rc" -eq 0 ]; then
+    passed+=("$name")
+  elif [ "$rc" -eq 77 ]; then
+    skipped+=("$name")
+  else
+    failed+=("$name")
+  fi
+}
+
+platlint_args=(--root "$root" --timing)
+if [ -n "$budget" ]; then
+  platlint_args+=(--budget "$budget")
+fi
+if [ -n "$sarif" ]; then
+  platlint_args+=(--sarif-out "$sarif")
+fi
+run platlint python3 "$root/tools/platlint/platlint.py" "${platlint_args[@]}"
+run platlint_fixtures python3 "$root/tools/platlint/platlint.py" \
+    --root "$root" --selftest
+run platlint_parity bash "$root/tools/platlint_parity.sh" "$root"
+run protocol_spec python3 "$root/tools/gen_protocol_spec.py" \
+    --root "$root" --check --verify
+run protocol_spec_selftest python3 "$root/tools/gen_protocol_spec.py" \
+    --root "$root" --selftest
+run clang_tidy bash "$root/tools/run_clang_tidy.sh" "$root" "$build"
+
+echo "==== lint summary ===="
+echo "passed:  ${passed[*]-none}"
+echo "skipped: ${skipped[*]-none}"
+if [ "${#failed[@]}" -gt 0 ]; then
+  echo "FAILED:  ${failed[*]}"
+  exit 1
+fi
+echo "lint: all checks passed"

@@ -46,6 +46,11 @@ _MACRO_BARE_RE = re.compile(r"\b[A-Z][A-Z0-9_]{2,}\b")
 
 _ANNOTATION_RE = re.compile(r"\bPLATINUM_(MAY|NO)_YIELD\b")
 
+# Determinism-taint annotations (src/base/thread_annotations.h): declared
+# host-only / sanitizing regions for the determinism dataflow rule.
+_TAINT_ANNOTATION_RE = re.compile(
+    r"\bPLATINUM_(HOST_ONLY|DETERMINISTIC_SANITIZED)\b")
+
 _INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"(src/[^"]+)"')
 
 _IDENT_RE = re.compile(r"[A-Za-z_]\w*")
@@ -116,6 +121,13 @@ def _strip_code(text: str) -> str:
     return "".join(out)
 
 
+def _taint_annotation_of(segment: str) -> str | None:
+    m = _TAINT_ANNOTATION_RE.search(segment)
+    if m is None:
+        return None
+    return "host_only" if m.group(1) == "HOST_ONLY" else "sanitized"
+
+
 def _strip_macros(segment: str) -> str:
     """Removes annotation-style macros from a declaration segment."""
     prev = None
@@ -169,6 +181,7 @@ class FunctionDef:
     params: str = ""          # raw parameter-list text
     return_type: str | None = None
     annotation: str | None = None  # "may_yield" | "no_yield" | None
+    taint_annotation: str | None = None  # "host_only" | "sanitized" | None
 
 
 @dataclass
@@ -180,6 +193,7 @@ class Declaration:
     line: int
     return_type: str | None
     annotation: str | None
+    taint_annotation: str | None = None
 
 
 @dataclass
@@ -373,6 +387,7 @@ def _parse_member_segment(sf: SourceFile, segment: str, cls: str, seg_start: int
     annotation = None
     if ann_m:
         annotation = "may_yield" if ann_m.group(1) == "MAY" else "no_yield"
+    taint_annotation = _taint_annotation_of(seg)
     clean = _strip_macros(seg)
     popen = _first_toplevel_paren(clean)
     if popen >= 0:
@@ -385,7 +400,8 @@ def _parse_member_segment(sf: SourceFile, segment: str, cls: str, seg_start: int
         qualified = f"{cls}::{simple}" if cls else simple
         sf.declarations.append(Declaration(
             qualified=qualified, simple=simple, cls=cls or None, path=sf.path,
-            line=line, return_type=ret, annotation=annotation))
+            line=line, return_type=ret, annotation=annotation,
+            taint_annotation=taint_annotation))
         return
     if not cls:
         return
@@ -466,7 +482,8 @@ def _structural_scan(sf: SourceFile):
                     sig_line=sf.line_of(seg_start + popen),
                     body_start=i, body_end=-1,
                     body_line=sf.line_of(i), params=params,
-                    return_type=ret, annotation=annotation)
+                    return_type=ret, annotation=annotation,
+                    taint_annotation=_taint_annotation_of(seg))
                 in_function = fn
                 fn_depth = depth
                 depth += 1
@@ -594,6 +611,7 @@ class RepoModel:
         self.field_decls: list[FieldDecl] = []
         self.class_bases: dict[str, list[str]] = {}
         self.annotations: dict[str, str] = {}
+        self.taint_annotations: dict[str, str] = {}  # qualified -> host_only|sanitized
         self.return_types: dict[tuple[str | None, str], str] = {}
         self.decl_lines: dict[str, tuple[str, int]] = {}
         for f in files:
@@ -608,12 +626,16 @@ class RepoModel:
                 self.by_simple.setdefault(fn.simple, []).append(fn)
                 if fn.annotation:
                     self.annotations[fn.qualified] = fn.annotation
+                if fn.taint_annotation:
+                    self.taint_annotations[fn.qualified] = fn.taint_annotation
                 if fn.return_type:
                     self.return_types.setdefault((fn.cls, fn.simple), fn.return_type)
             for d in f.declarations:
                 if d.annotation:
                     self.annotations[d.qualified] = d.annotation
                     self.decl_lines[d.qualified] = (d.path, d.line)
+                if d.taint_annotation:
+                    self.taint_annotations.setdefault(d.qualified, d.taint_annotation)
                 if d.return_type:
                     self.return_types.setdefault((d.cls, d.simple), d.return_type)
         self.known_quals = {fn.qualified for fn in self.functions} | set(self.annotations)
@@ -691,9 +713,19 @@ class RepoModel:
         return []
 
 
-def load_tree(root: str, rel_dirs: list[str],
-              extra: list[tuple[str, str]] | None = None) -> RepoModel:
-    """Parses every .h/.cc/.cpp under root/rel_dirs (plus extra (path, text))."""
+# Parsed trees keyed by (root, rel_dirs): parsing is by far the most
+# expensive step, and platlint --selftest builds one model per fixture over
+# the same on-disk tree. Files do not change within one process run, so the
+# parsed SourceFiles (which the rules never mutate) are shared; only the
+# cheap RepoModel aggregation is rebuilt per extra-file set.
+_PARSE_CACHE: dict[tuple[str, tuple[str, ...]], list[SourceFile]] = {}
+
+
+def _parse_tree(root: str, rel_dirs: list[str]) -> list[SourceFile]:
+    key = (os.path.abspath(root), tuple(rel_dirs))
+    cached = _PARSE_CACHE.get(key)
+    if cached is not None:
+        return cached
     files = []
     for rel in rel_dirs:
         base = os.path.join(root, rel)
@@ -706,8 +738,36 @@ def load_tree(root: str, rel_dirs: list[str],
                     text = f.read()
                 rel_path = os.path.relpath(full, root).replace(os.sep, "/")
                 files.append(parse_file(rel_path, text))
+    _PARSE_CACHE[key] = files
+    return files
+
+
+def load_tree(root: str, rel_dirs: list[str],
+              extra: list[tuple[str, str]] | None = None) -> RepoModel:
+    """Parses every .h/.cc/.cpp under root/rel_dirs (plus extra (path, text))."""
+    files = list(_parse_tree(root, rel_dirs))
     for path, text in extra or []:
         files.append(parse_file(path, text))
     model = RepoModel(files)
     model.root = root
     return model
+
+
+def calls_of(fn: FunctionDef, file: SourceFile) -> list[CallSite]:
+    """extract_calls with a per-FunctionDef cache (safe: bodies are immutable
+    once parsed, and cached SourceFiles share FunctionDef objects across
+    models)."""
+    cached = getattr(fn, "_platlint_calls", None)
+    if cached is None:
+        cached = extract_calls(fn, file)
+        fn._platlint_calls = cached
+    return cached
+
+
+def locals_of(fn: FunctionDef) -> dict[str, str]:
+    """local_types with the same per-FunctionDef cache as calls_of."""
+    cached = getattr(fn, "_platlint_locals", None)
+    if cached is None:
+        cached = local_types(fn)
+        fn._platlint_locals = cached
+    return cached

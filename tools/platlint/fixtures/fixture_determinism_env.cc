@@ -1,0 +1,21 @@
+// platlint fixture: must trigger the determinism-taint rule.
+// platlint-fixture-as: bench/fixture_determinism_env.cc
+// platlint-fixture-rule: determinism-taint
+//
+// A raw (unsanitized) environment read flows into the scheduler. The
+// sanctioned form is a PLATINUM_DETERMINISTIC_SANITIZED funnel like
+// bench::EnvInt, which validates the knob and makes it part of the
+// invocation identity.
+#include <cstdlib>
+
+#include "src/sim/scheduler.h"
+
+namespace platinum::bench {
+
+void ChargeFromEnvironment(sim::Scheduler& sched) {
+  const char* raw = std::getenv("PLATINUM_FIXTURE_SKEW");
+  long skew = raw ? std::atol(raw) : 0;
+  sched.Advance(sim::SimTime(skew));
+}
+
+}  // namespace platinum::bench

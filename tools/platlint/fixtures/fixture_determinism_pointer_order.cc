@@ -1,0 +1,16 @@
+// platlint fixture: must trigger the determinism-taint rule.
+// platlint-fixture-as: src/mem/fixture_determinism_pointer_order.cc
+// platlint-fixture-rule: determinism-taint
+//
+// A pointer value cast to an integer inside the deterministic core: the
+// allocator (host state) decides what this function computes, so any use of
+// the result makes simulated behavior depend on allocation order.
+#include <cstdint>
+
+namespace platinum::mem {
+
+uint64_t FixtureStablePageId(const void* frame) {
+  return reinterpret_cast<uintptr_t>(frame);
+}
+
+}  // namespace platinum::mem

@@ -1,0 +1,19 @@
+// platlint fixture: must trigger the determinism-taint rule.
+// platlint-fixture-as: bench/fixture_determinism_randomness.cc
+// platlint-fixture-rule: determinism-taint
+//
+// Ambient randomness seeds a simulated-time charge. (Seeded, deterministic
+// PRNGs are fine; std::random_device is host entropy.)
+#include <random>
+
+#include "src/sim/scheduler.h"
+
+namespace platinum::bench {
+
+void ChargeRandomly(sim::Scheduler& sched) {
+  std::random_device entropy;
+  unsigned jitter = entropy();
+  sched.Advance(sim::SimTime(jitter));
+}
+
+}  // namespace platinum::bench

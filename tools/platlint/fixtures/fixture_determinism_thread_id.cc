@@ -1,0 +1,19 @@
+// platlint fixture: must trigger the determinism-taint rule.
+// platlint-fixture-as: bench/fixture_determinism_thread_id.cc
+// platlint-fixture-rule: determinism-taint
+//
+// The host thread id (which worker happened to run this sweep point) leaks
+// into a simulated-time charge.
+#include <functional>
+#include <thread>
+
+#include "src/sim/scheduler.h"
+
+namespace platinum::bench {
+
+void ChargePerWorker(sim::Scheduler& sched) {
+  auto worker = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  sched.Advance(sim::SimTime(worker % 1024));
+}
+
+}  // namespace platinum::bench

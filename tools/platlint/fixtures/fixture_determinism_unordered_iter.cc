@@ -1,0 +1,28 @@
+// platlint fixture: must trigger the determinism-taint rule.
+// platlint-fixture-as: bench/fixture_determinism_unordered_iter.cc
+// platlint-fixture-rule: determinism-taint
+//
+// Hash-ordered iteration taints the accumulated value, the taint survives
+// the return, and the caller hands it to the scheduler: an interprocedural
+// source-to-sink chain across two functions.
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/sim/scheduler.h"
+
+namespace platinum::bench {
+
+uint64_t HashOrderSum(const std::unordered_map<int, uint64_t>& table) {
+  uint64_t sum = 0;
+  for (const auto& kv : table) {  // visit order is the hash layout
+    sum = sum * 31 + kv.second;
+  }
+  return sum;
+}
+
+void ChargeByHashOrder(sim::Scheduler& sched,
+                       const std::unordered_map<int, uint64_t>& table) {
+  sched.Advance(sim::SimTime(HashOrderSum(table)));
+}
+
+}  // namespace platinum::bench

@@ -1,0 +1,18 @@
+// platlint fixture: must trigger the determinism-taint rule.
+// platlint-fixture-as: bench/fixture_determinism_wall_clock.cc
+// platlint-fixture-rule: determinism-taint
+//
+// A host wall-clock reading flows through a local into virtual time: the
+// sink call receives a value the host is free to vary between runs.
+#include <chrono>
+
+#include "src/sim/scheduler.h"
+
+namespace platinum::bench {
+
+void SeedVirtualTimeFromHost(sim::Scheduler& sched) {
+  auto skew = std::chrono::steady_clock::now().time_since_epoch().count();
+  sched.Advance(sim::SimTime(skew));
+}
+
+}  // namespace platinum::bench

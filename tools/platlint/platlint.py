@@ -7,6 +7,7 @@ rules described in docs/STATIC_ANALYSIS.md:
   wall-clock           no wall-clock time in the simulation core
   randomness           no ambient randomness in the simulation core
   unordered-container  no hash-ordered iteration in the simulation core
+  determinism-taint    no host-nondeterministic value flows into sim state
   layering             src/ include graph respects the layer map
   pointer-escape       FrameData() host pointers stay inside the memory system
   no-yield             PLATINUM_NO_YIELD functions cannot reach a switch point
@@ -17,7 +18,8 @@ rules described in docs/STATIC_ANALYSIS.md:
 
 Usage:
   platlint.py [--root DIR] [--rule NAME]... [--json] [--json-out FILE]
-              [--baseline FILE] [--timing] [--frontend text|clang]
+              [--sarif-out FILE] [--baseline FILE] [--timing] [--budget SECS]
+              [--frontend text|clang]
   platlint.py --list-rules
   platlint.py --selftest          # fixtures must trigger, real tree must pass
 
@@ -49,6 +51,11 @@ import rules as rules_mod  # noqa: E402
 DEFAULT_ROOT = os.path.normpath(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
 FIXTURES_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+
+# Directories analyzed by the text frontend. bench/ is in scope for the
+# dataflow rule (host-side harness code feeding the simulator); the
+# core-scoped rules all filter on src/ paths themselves.
+SCAN_DIRS = ["src", "bench"]
 
 # Fixtures declare the path they should be analyzed at and the rule they must
 # trigger in header comments:
@@ -98,6 +105,52 @@ def stale_findings(baseline, used, selected_names):
     return stale
 
 
+def to_sarif(findings, selected):
+    """Findings as a SARIF 2.1.0 log (GitHub code scanning ingests this)."""
+    rule_meta = [{
+        "id": rule.name,
+        "shortDescription": {"text": rule.description},
+        "defaultConfiguration": {"level": "error"},
+        "helpUri": "https://github.com/" + os.environ.get(
+            "GITHUB_REPOSITORY", "platinum/platinum")
+                   + "/blob/main/docs/STATIC_ANALYSIS.md",
+    } for rule in selected]
+    index = {rule.name: i for i, rule in enumerate(selected)}
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path,
+                                         "uriBaseId": "%SRCROOT%"},
+                    "region": {"startLine": max(1, f.line)},
+                },
+            }],
+        }
+        if f.rule in index:
+            result["ruleIndex"] = index[f.rule]
+        if getattr(f, "snippet", ""):
+            result["locations"][0]["physicalLocation"]["region"]["snippet"] = {
+                "text": f.snippet}
+        results.append(result)
+    return {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                   "master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "platlint",
+                "informationUri": "docs/STATIC_ANALYSIS.md",
+                "rules": rule_meta,
+            }},
+            "results": results,
+        }],
+    }
+
+
 def selftest(root: str, selected) -> int:
     """Each fixture must trigger exactly its declared rule at its declared
     virtual path; the rule set must also pass over the real tree."""
@@ -124,7 +177,7 @@ def selftest(root: str, selected) -> int:
         if want_rule not in rule_names:
             continue  # rule filtered out on the command line
         covered.add(want_rule)
-        model = cpp_model.load_tree(root, ["src"], extra=[(as_path, text)])
+        model = cpp_model.load_tree(root, SCAN_DIRS, extra=[(as_path, text)])
         findings, _ = run_rules(model, selected, baseline=set())
         hits = [f for f in findings if f.path == as_path and f.rule == want_rule]
         extra = [f for f in findings if f.path != as_path]
@@ -146,7 +199,7 @@ def selftest(root: str, selected) -> int:
         failures += 1
     # Stale-baseline detection must itself fire: a baseline entry naming a
     # file that produces no finding has to be reported, not silently kept.
-    model = cpp_model.load_tree(root, ["src"])
+    model = cpp_model.load_tree(root, SCAN_DIRS)
     dead_entry = (selected[0].name, "src/sim/NO_SUCH_FILE.cc")
     _, used = run_rules(model, selected, baseline={dead_entry})
     stale = stale_findings({dead_entry}, used, rule_names)
@@ -172,8 +225,14 @@ def main(argv=None) -> int:
     ap.add_argument("--json", action="store_true", help="emit findings as JSON")
     ap.add_argument("--json-out", default=None, metavar="FILE",
                     help="also write findings as JSON to FILE (for CI artifacts)")
+    ap.add_argument("--sarif-out", default=None, metavar="FILE",
+                    help="write findings as SARIF 2.1.0 to FILE "
+                         "(GitHub code scanning)")
     ap.add_argument("--timing", action="store_true",
                     help="print per-rule and total wall-clock timing to stderr")
+    ap.add_argument("--budget", type=float, default=None, metavar="SECONDS",
+                    help="fail (exit 1) if the total run exceeds this many "
+                         "wall-clock seconds (CI performance gate)")
     ap.add_argument("--baseline", default=None,
                     help="JSON baseline of accepted (rule, path) pairs "
                          "(default: tools/platlint/baseline.json if present)")
@@ -215,7 +274,7 @@ def main(argv=None) -> int:
 
     total_start = time.monotonic()
     timings = {} if args.timing else None
-    model = cpp_model.load_tree(args.root, ["src"])
+    model = cpp_model.load_tree(args.root, SCAN_DIRS)
     load_done = time.monotonic()
     findings, used = run_rules(model, selected, baseline, timings=timings)
 
@@ -255,6 +314,16 @@ def main(argv=None) -> int:
         with open(args.json_out, "w", encoding="utf-8") as out:
             json.dump([f.to_json() for f in findings], out, indent=2)
             out.write("\n")
+    if args.sarif_out:
+        with open(args.sarif_out, "w", encoding="utf-8") as out:
+            json.dump(to_sarif(findings, selected), out, indent=2)
+            out.write("\n")
+    if args.budget is not None:
+        elapsed = time.monotonic() - total_start
+        if elapsed > args.budget:
+            print(f"platlint: run took {elapsed:.1f}s, over the --budget "
+                  f"{args.budget:.1f}s performance gate", file=sys.stderr)
+            return 1
     if args.json:
         print(json.dumps([f.to_json() for f in findings], indent=2))
     else:

@@ -17,7 +17,8 @@ import os
 import re
 from dataclasses import dataclass, field
 
-from cpp_model import RepoModel, _match_paren, extract_calls, local_types
+import dataflow
+from cpp_model import RepoModel, _match_paren, calls_of, locals_of
 
 # Directories making up the deterministic simulation core (the historical
 # lint_nondeterminism scope).
@@ -246,9 +247,9 @@ class _YieldAnalysis:
 
     def __init__(self, model: RepoModel):
         self.model = model
-        self.calls = {id(fn): extract_calls(fn, model.files[fn.path])
+        self.calls = {id(fn): calls_of(fn, model.files[fn.path])
                       for fn in model.functions}
-        self.locals = {id(fn): local_types(fn) for fn in model.functions}
+        self.locals = {id(fn): locals_of(fn) for fn in model.functions}
         # may_yield: qualified name -> witness (None for annotated roots,
         # else (callsite, callee_qualified) that first proved it).
         self.may_yield: dict[str, object] = {
@@ -762,10 +763,42 @@ class AnnotationCoverageRule(Rule):
         return out
 
 
+class DeterminismTaintRule(Rule):
+    """Interprocedural determinism taint analysis (tools/platlint/dataflow.py):
+    no host-nondeterministic value — wall clock, ambient randomness, pointer
+    order, unordered-container iteration order, host thread ids, environment
+    reads — may flow through assignments, returns or call arguments into
+    sim-visible state (src/sim, src/mem, src/kernel, src/apps, or the
+    trace/stats/JSON emission classes). PLATINUM_HOST_ONLY and
+    PLATINUM_DETERMINISTIC_SANITIZED (src/base/thread_annotations.h) declare
+    the sanctioned host-side regions and validating funnels. Findings carry
+    the full source-to-sink witness chain, no-yield style."""
+
+    name = "determinism-taint"
+    description = ("Host-nondeterministic values flowing into sim-visible "
+                   "state (interprocedural taint analysis).")
+    nondet_compat = True
+
+    def run(self, model: RepoModel) -> list[Finding]:
+        ta = dataflow.get_taint_analysis(model)
+        out = []
+        for fn in model.functions:
+            sf = model.files[fn.path]
+            for line, message in ta.direct_core_findings(fn):
+                out.append(Finding(self.name, fn.path, line, message,
+                                   sf.raw_lines[line - 1].strip()))
+            for line, message in ta.sink_findings(fn):
+                out.append(Finding(self.name, fn.path, line, message,
+                                   sf.raw_lines[line - 1].strip()))
+        out.sort(key=lambda f: (f.path, f.line))
+        return out
+
+
 ALL_RULES: list[Rule] = [
     WallClockRule(),
     RandomnessRule(),
     UnorderedContainerRule(),
+    DeterminismTaintRule(),
     LayeringRule(),
     PointerEscapeRule(),
     NoYieldRule(),
