@@ -15,6 +15,9 @@
 //            with --check-races it exits 1)
 //   explore  bounded model checking of the protocol (docs/CHECKING.md)
 // Options:   --procs=N --n=N --count=N --epochs=N --policy=NAME --page=BYTES
+//            --protocol=directory|tardis   coherence protocol (docs/PROTOCOL.md)
+//            --lease-us=N        tardis lease duration (default 50 us)
+//            --lease-policy=fixed|doubling  tardis lease-duration policy
 //            --t1-ms=N --no-defrost --adaptive-defrost --kind=PATTERN
 //            --think-us=N --report --trace
 //            --trace-json=FILE   Chrome/Perfetto trace-event JSON
@@ -45,6 +48,7 @@
 #include "src/kernel/kernel.h"
 #include "src/kernel/report.h"
 #include "src/mem/policy.h"
+#include "src/mem/protocol_spec.h"
 #include "src/obs/export.h"
 #include "src/obs/json.h"
 #include "src/obs/page_trace.h"
@@ -65,6 +69,9 @@ struct Options {
   size_t count = 1 << 14;
   int epochs = 8;
   std::string policy = "timestamp";
+  std::string protocol = "directory";
+  int lease_us = 0;  // 0 = the protocol's default lease
+  std::string lease_policy = "fixed";
   uint32_t page_bytes = 4096;
   int t1_ms = 10;
   bool defrost = true;
@@ -113,6 +120,12 @@ Options Parse(int argc, char** argv) {
       options.epochs = std::atoi(value);
     } else if (StartsWith(argv[i], "--policy=", &value)) {
       options.policy = value;
+    } else if (StartsWith(argv[i], "--protocol=", &value)) {
+      options.protocol = value;
+    } else if (StartsWith(argv[i], "--lease-us=", &value)) {
+      options.lease_us = std::atoi(value);
+    } else if (StartsWith(argv[i], "--lease-policy=", &value)) {
+      options.lease_policy = value;
     } else if (StartsWith(argv[i], "--page=", &value)) {
       options.page_bytes = static_cast<uint32_t>(std::atoi(value));
     } else if (StartsWith(argv[i], "--t1-ms=", &value)) {
@@ -203,9 +216,11 @@ int main(int argc, char** argv) {
     config.pages = options.pages;
     config.max_depth = options.depth;
     config.policy = options.policy;
-    std::printf("platsim: protocol explorer, %d processors, %d page%s, policy=%s\n",
+    config.protocol = options.protocol;
+    std::printf("platsim: protocol explorer, %d processors, %d page%s, policy=%s, "
+                "protocol=%s\n",
                 config.processors, config.pages, config.pages == 1 ? "" : "s",
-                config.policy.c_str());
+                config.policy.c_str(), config.protocol.c_str());
     check::ExplorerResult result = check::ExploreProtocol(config);
     std::printf("explore: %s\n", result.Summary().c_str());
     return 0;  // an invariant violation would have aborted
@@ -220,6 +235,16 @@ int main(int argc, char** argv) {
   kernel::KernelOptions kernel_options;
   kernel_options.policy = MakePolicy(options);
   kernel_options.start_defrost_daemon = options.defrost;
+  mem::ProtocolKind kind;
+  if (!mem::ProtocolKindFromName(options.protocol.c_str(), &kind)) {
+    std::fprintf(stderr, "unknown protocol '%s' (directory|tardis)\n",
+                 options.protocol.c_str());
+    return 1;
+  }
+  kernel_options.protocol = options.protocol;
+  kernel_options.tardis_lease_ns =
+      static_cast<sim::SimTime>(options.lease_us) * sim::kMicrosecond;
+  kernel_options.tardis_lease_policy = options.lease_policy;
   kernel::Kernel kernel(&machine, std::move(kernel_options));
   std::unique_ptr<check::InvariantOracle> oracle;
   if (options.check_invariants) {
@@ -251,9 +276,9 @@ int main(int argc, char** argv) {
     machine.scheduler().SetTimeObserver(sampler.get());
   }
 
-  std::printf("platsim: %s, %d processors, policy=%s, page=%u B\n",
+  std::printf("platsim: %s, %d processors, policy=%s, protocol=%s, page=%u B\n",
               options.workload.c_str(), options.procs, options.policy.c_str(),
-              options.page_bytes);
+              options.protocol.c_str(), options.page_bytes);
 
   if (options.workload == "gauss") {
     apps::GaussConfig config;

@@ -30,9 +30,7 @@ void SortWorkerBody(Array& a, Array& b, size_t count, int p, int pid, uint64_t s
   const size_t lo = static_cast<size_t>(pid) * chunk;
 
   // Generate this thread's chunk (places pages locally by first touch).
-  for (size_t i = 0; i < chunk; ++i) {
-    a.Set(lo + i, SortInputValue(seed, lo + i));
-  }
+  GenerateRun(a, lo, chunk, seed);
   env.barrier();
   env.mark_start(pid);
 
@@ -90,13 +88,28 @@ SortResult VerifySorted(const SortConfig& config, Array& final_array,
   bool sorted = true;
   run_in_thread([&] {
     uint32_t previous = 0;
-    for (size_t i = 0; i < config.count; ++i) {
-      uint32_t value = final_array.Get(i);
-      if (i > 0 && value < previous) {
-        sorted = false;
+    // A linear read-only pass: fetched in blocks where the array supports
+    // it, word-at-a-time otherwise, with the same simulated access stream.
+    uint32_t buf[kSortBatchWords];
+    size_t done = 0;
+    while (done < config.count) {
+      size_t batch = std::min(config.count - done, kSortBatchWords);
+      if constexpr (kArrayHasRanges<Array>) {
+        final_array.GetRange(done, batch, buf);
+      } else {
+        for (size_t k = 0; k < batch; ++k) {
+          buf[k] = final_array.Get(done + k);
+        }
       }
-      previous = value;
-      sum.Add(value);
+      for (size_t k = 0; k < batch; ++k) {
+        uint32_t value = buf[k];
+        if ((done + k) > 0 && value < previous) {
+          sorted = false;
+        }
+        previous = value;
+        sum.Add(value);
+      }
+      done += batch;
     }
   });
   result.checksum = sum.value();

@@ -10,8 +10,10 @@
 #ifndef SRC_APPS_MERGESORT_H_
 #define SRC_APPS_MERGESORT_H_
 
+#include <algorithm>
 #include <cstdint>
 
+#include "src/apps/workloads.h"
 #include "src/kernel/kernel.h"
 #include "src/uma/uma_machine.h"
 
@@ -37,8 +39,55 @@ SortResult RunMergeSortUma(uma::UmaMachine& machine, const SortConfig& config);
 
 // --- Generic core, shared by both drivers -----------------------------------
 
+// True when Array exposes the block accessors (rt::SharedArray does,
+// uma::UmaArray does not): the generic code below batches its linear passes
+// through GetRange/SetRange where available — simulated behavior is
+// identical to the word-at-a-time loop by the kernel's ReadRange/WriteRange
+// contract, only host-side dispatch overhead is amortized — and keeps the
+// word loop otherwise.
+template <typename Array>
+inline constexpr bool kArrayHasRanges = requires(Array& a, uint32_t* out) {
+  a.GetRange(size_t{0}, size_t{0}, out);
+  a.SetRange(size_t{0}, size_t{0}, out);
+};
+
+// Staging-buffer size for the batched passes; matches rt::SharedArray's
+// per-call chunk so one call is one kernel block transfer.
+inline constexpr size_t kSortBatchWords = 256;
+
+// Writes the generated input run a[lo..lo+n) = SortInputValue(seed, index),
+// in blocks where the array supports it. The values come from host-side
+// arithmetic, so the simulated reference stream is the same ascending
+// sequence of word writes either way — batching only amortizes dispatch.
+template <typename Array>
+void GenerateRun(Array& a, size_t lo, size_t n, uint64_t seed) {
+  if constexpr (kArrayHasRanges<Array>) {
+    uint32_t buf[kSortBatchWords];
+    size_t done = 0;
+    while (done < n) {
+      size_t batch = std::min(n - done, kSortBatchWords);
+      for (size_t k = 0; k < batch; ++k) {
+        buf[k] = SortInputValue(seed, lo + done + k);
+      }
+      a.SetRange(lo + done, batch, buf);
+      done += batch;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      a.Set(lo + i, SortInputValue(seed, lo + i));
+    }
+  }
+}
+
 // Merges src[lo1..lo1+n1) and src[lo2..lo2+n2) (both sorted) into
 // dst[out..). `compute` is charged once per element moved.
+//
+// Deliberately word-at-a-time throughout, tails included: every element's
+// move is compute-then-copy, and batching the tails would group the
+// references after their compute charges — same total time on an idle page,
+// but a reordered reference stream that concurrent protocol decisions
+// (freezes, defrosts on other processors) can observe. Only the pure linear
+// passes (generation, verification) use the block accessors.
 template <typename Array, typename ComputeFn>
 void MergeRuns(Array& src, Array& dst, size_t lo1, size_t n1, size_t lo2, size_t n2, size_t out,
                ComputeFn&& compute) {

@@ -55,6 +55,7 @@ System Boot(const ExplorerConfig& config) {
 
   kernel::KernelOptions options;
   options.policy = MakePolicy(config, params.t1_freeze_window_ns);
+  options.protocol = config.protocol;
   options.start_defrost_daemon = false;  // thaws are explicit alphabet events
   options.address_space_pages = 64;      // keeps each invariant sweep cheap
   sys.kernel = std::make_unique<kernel::Kernel>(sys.machine.get(), std::move(options));
@@ -187,6 +188,10 @@ ExplorerResult ExploreProtocol(const ExplorerConfig& config) {
     std::vector<mem::CpageState> states;  // per-page state (edge recording)
   };
 
+  mem::ProtocolKind kind;
+  PLAT_CHECK(mem::ProtocolKindFromName(config.protocol.c_str(), &kind))
+      << "unknown explorer protocol '" << config.protocol << "'";
+
   ExplorerResult result;
   // std::map keeps the visited set's behavior independent of hash order.
   std::map<std::string, uint64_t> visited;
@@ -258,10 +263,11 @@ ExplorerResult ExploreProtocol(const ExplorerConfig& config) {
         if (from == to && page != event.page) {
           continue;
         }
-        PLAT_CHECK(mem::ProtocolAllowsEdge(trigger, from, to))
-            << "explored an edge outside the protocol spec: page " << page << " moved "
-            << mem::CpageStateName(from) << " -> " << mem::CpageStateName(to) << " under '"
-            << mem::ProtocolTriggerName(trigger) << "'";
+        PLAT_CHECK(mem::ProtocolAllowsEdge(kind, trigger, from, to))
+            << "explored an edge outside the " << mem::ProtocolKindName(kind)
+            << " spec: page " << page << " moved " << mem::CpageStateName(from) << " -> "
+            << mem::CpageStateName(to) << " under '" << mem::ProtocolTriggerName(trigger)
+            << "'";
         edges.insert(mem::ProtocolEdge{trigger, from, to});
       }
       std::string abstract = Abstract(sys, config);

@@ -35,6 +35,9 @@ struct ExplorerConfig {
   // Replication policy driving the cache/don't-cache decision:
   // "timestamp" (freezes declined pages), "always", or "never".
   std::string policy = "timestamp";
+  // Coherence protocol the explored kernel is booted with ("directory" or
+  // "tardis"). Observed edges are checked against this protocol's spec.
+  std::string protocol = "directory";
   // Placement advice applied to every page before the run (kWriteShared
   // forces the never-cache + freeze path).
   mem::MemoryAdvice advice = mem::MemoryAdvice::kDefault;
@@ -48,8 +51,9 @@ struct ExplorerResult {
   bool exhaustive = false;
   // Deduplicated (trigger, from, to) edges of the explored pages, sorted;
   // self-edges of the event's target page are recorded too. Each edge was
-  // checked against the protocol spec (src/mem/protocol_spec.json) as it
-  // was replayed — an edge outside the spec aborts the exploration.
+  // checked against the active protocol's spec (src/mem/protocol_spec.json
+  // or protocol_spec_tardis.json, per config.protocol) as it was replayed —
+  // an edge outside that spec aborts the exploration.
   std::vector<mem::ProtocolEdge> observed_edges;
   // Bit i set iff mem::CpageState(i) appeared in some visited state.
   uint32_t state_mask_seen = 0;

@@ -1,11 +1,14 @@
 #include "src/check/oracle.h"
 
 #include "src/base/check.h"
+#include "src/mem/protocol.h"
 
 namespace platinum::check {
 
-InvariantOracle::InvariantOracle(mem::CoherentMemory* memory) : memory_(memory) {
+InvariantOracle::InvariantOracle(mem::CoherentMemory* memory)
+    : memory_(memory), kind_(mem::ProtocolKind::kDirectory) {
   PLAT_CHECK(memory_ != nullptr);
+  kind_ = memory_->protocol().kind();
   // Transitions completed before the oracle attached are not re-validated;
   // the shadow starts from the current directory state.
   const mem::CpageTable& pages = memory_->cpages();
@@ -46,11 +49,11 @@ void InvariantOracle::CheckTransitionEdges(const char* transition) {
     if (from == to) {
       continue;
     }
-    PLAT_CHECK(mem::ProtocolAllowsEdge(trigger, from, to))
+    PLAT_CHECK(mem::ProtocolAllowsEdge(kind_, trigger, from, to))
         << "protocol-spec violation: cpage " << id << " moved " << mem::CpageStateName(from)
         << " -> " << mem::CpageStateName(to) << " under trigger '"
-        << mem::ProtocolTriggerName(trigger)
-        << "' but src/mem/protocol_spec.json has no such row";
+        << mem::ProtocolTriggerName(trigger) << "' but the "
+        << mem::ProtocolKindName(kind_) << " spec has no such row";
     shadow_states_[id] = to;
   }
 }

@@ -17,12 +17,13 @@
 //
 // In addition to the structural invariants, the oracle validates every
 // per-page state *change* between consecutive hook firings against the
-// machine-readable protocol spec (src/mem/protocol_spec.json, via
-// mem::ProtocolAllowsEdge): a page may only move along a (trigger, from,
-// to) row the spec declares for the transition that just completed. The
+// machine-readable spec of the *active* protocol (src/mem/protocol_spec*.json
+// via mem::ProtocolAllowsEdge, keyed by the ProtocolKind the memory system
+// was built with): a page may only move along a (trigger, from, to) row that
+// protocol's spec declares for the transition that just completed. The
 // implementation, this oracle, and the bounded explorer all consume the
-// same generated table, so a transition added to the code without a spec
-// row aborts here.
+// same generated tables, so a transition added to the code without a spec
+// row — or an edge legal only under the *other* protocol — aborts here.
 #ifndef SRC_CHECK_ORACLE_H_
 #define SRC_CHECK_ORACLE_H_
 
@@ -55,6 +56,8 @@ class InvariantOracle {
   void CheckTransitionEdges(const char* transition);
 
   mem::CoherentMemory* memory_;
+  // The active protocol's spec, snapshotted at attach.
+  mem::ProtocolKind kind_;
   uint64_t transitions_checked_ = 0;
   // Per-page state as of the previous hook firing (pages created since are
   // empty, their creation state).

@@ -5,6 +5,7 @@
 
 #include "src/base/check.h"
 #include "src/check/race_detector.h"
+#include "src/mem/protocol.h"
 #include "src/obs/page_trace.h"
 #include "src/obs/scope.h"
 
@@ -17,7 +18,10 @@ Kernel::Kernel(sim::Machine* machine, KernelOptions options)
   if (policy == nullptr) {
     policy = std::make_unique<mem::TimestampPolicy>(machine_->params().t1_freeze_window_ns);
   }
-  memory_ = std::make_unique<mem::CoherentMemory>(machine_, std::move(policy));
+  memory_ = std::make_unique<mem::CoherentMemory>(
+      machine_, std::move(policy),
+      mem::MakeProtocol(options.protocol, options.tardis_lease_ns,
+                        options.tardis_lease_policy));
   page_shift_ = static_cast<uint32_t>(std::countr_zero(machine_->params().page_size_bytes));
   if (options.start_defrost_daemon) {
     memory_->StartDefrostDaemon();

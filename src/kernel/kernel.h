@@ -38,6 +38,13 @@ struct KernelOptions {
   // Replication policy; defaults to the paper's timestamp policy with the
   // machine's t1.
   std::unique_ptr<mem::ReplicationPolicy> policy;
+  // Coherence protocol: "directory" (the paper's shootdown protocol) or
+  // "tardis" (timestamp leases — see docs/PROTOCOL.md).
+  std::string protocol = "directory";
+  // Tardis tuning: initial lease duration in simulated ns (0 = the protocol
+  // default) and the lease policy, "fixed" or "doubling".
+  sim::SimTime tardis_lease_ns = 0;
+  std::string tardis_lease_policy = "fixed";
   // Start the defrost daemon at boot (Section 4.2). Disable for ablations.
   bool start_defrost_daemon = true;
   // Default virtual-address capacity of new address spaces, in pages.

@@ -12,6 +12,7 @@
 
 #include "src/base/check.h"
 #include "src/mem/coherent_memory.h"
+#include "src/mem/protocol.h"
 
 namespace platinum::mem {
 
@@ -59,9 +60,7 @@ void CoherentMemory::PinTo(uint32_t as_id, uint32_t vpn, int node) {
     // coherence interference, so the invalidation history is untouched.
     std::optional<PhysicalCopy> copy = AllocateFrame(page, node);
     PLAT_CHECK(copy.has_value() && copy->module == node) << "target module full";
-    ShootdownRound round;
-    InvalidateAllMappings(page, initiator, &round);
-    CommitShootdown(page, round, initiator);
+    protocol_->ReleaseAllMappings(page, initiator);
     CopyInto(page, *copy);
     std::vector<int> victims;
     for (const PhysicalCopy& old : page.copies()) {
@@ -79,17 +78,13 @@ void CoherentMemory::PinTo(uint32_t as_id, uint32_t vpn, int node) {
     Trace(TraceEventType::kMigrate, page, initiator, static_cast<uint32_t>(node));
   } else if (page.copies().size() > 1) {
     // Collapse to the copy already on the target node.
-    ShootdownRound round;
     std::vector<int> victims;
     for (const PhysicalCopy& old : page.copies()) {
       if (old.module != node) {
         victims.push_back(old.module);
       }
     }
-    for (int module : victims) {
-      InvalidateMappingsToCopy(page, module, initiator, &round);
-    }
-    CommitShootdown(page, round, initiator);
+    protocol_->ReleaseCopyMappings(page, victims, initiator);
     for (int module : victims) {
       FreeCopy(page, module);
     }
@@ -98,7 +93,7 @@ void CoherentMemory::PinTo(uint32_t as_id, uint32_t vpn, int node) {
     }
   }
 
-  if (!page.frozen()) {
+  if (protocol_->UsesFreezing() && !page.frozen()) {
     page.SetFrozen(true);
     page.SetFreezeTime(machine_->scheduler().now());
     frozen_lock_.Acquire();
@@ -132,10 +127,7 @@ void CoherentMemory::ReplicateTo(uint32_t as_id, uint32_t vpn, int node) {
     return;
   }
   if (page.state() == CpageState::kModified) {
-    ShootdownRound round;
-    RestrictCpageToRead(page, initiator, &round);
-    CommitShootdown(page, round, initiator);
-    page.SetState(CpageState::kPresent1);  // protocol: restrict modified -> present1
+    protocol_->DowngradeToRead(page, initiator);
   }
   CopyInto(page, *copy);
   page.AddCopy(*copy);

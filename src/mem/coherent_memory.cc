@@ -5,13 +5,22 @@
 
 #include "src/base/check.h"
 #include "src/mem/page_event.h"
+#include "src/mem/protocol.h"
 
 namespace platinum::mem {
 
-CoherentMemory::CoherentMemory(sim::Machine* machine, std::unique_ptr<ReplicationPolicy> policy)
-    : machine_(machine), policy_(std::move(policy)), cpages_(machine->num_nodes()) {
+CoherentMemory::CoherentMemory(sim::Machine* machine, std::unique_ptr<ReplicationPolicy> policy,
+                               std::unique_ptr<CoherenceProtocol> protocol)
+    : machine_(machine),
+      policy_(std::move(policy)),
+      protocol_(std::move(protocol)),
+      cpages_(machine->num_nodes()) {
   PLAT_CHECK(machine_ != nullptr);
   PLAT_CHECK(policy_ != nullptr);
+  if (protocol_ == nullptr) {
+    protocol_ = std::make_unique<DirectoryProtocol>();
+  }
+  protocol_->Attach(this);
   mmus_.reserve(machine_->num_nodes());
   for (int p = 0; p < machine_->num_nodes(); ++p) {
     mmus_.emplace_back(p, machine_->params().atc_entries);

@@ -36,7 +36,10 @@
 
 namespace platinum::mem {
 
+class CoherenceProtocol;
+class DirectoryProtocol;
 class PageEventSink;
+class TardisProtocol;
 
 enum class AccessOutcome : uint8_t {
   kOk,
@@ -46,7 +49,10 @@ enum class AccessOutcome : uint8_t {
 
 class CoherentMemory {
  public:
-  CoherentMemory(sim::Machine* machine, std::unique_ptr<ReplicationPolicy> policy);
+  // `protocol` selects the coherence protocol (src/mem/protocol.h); nullptr
+  // selects the paper's DirectoryProtocol.
+  CoherentMemory(sim::Machine* machine, std::unique_ptr<ReplicationPolicy> policy,
+                 std::unique_ptr<CoherenceProtocol> protocol = nullptr);
   ~CoherentMemory();
 
   CoherentMemory(const CoherentMemory&) = delete;
@@ -54,6 +60,9 @@ class CoherentMemory {
 
   sim::Machine& machine() { return *machine_; }
   ReplicationPolicy& policy() { return *policy_; }
+  // The active coherence protocol (the spec the checkers validate against).
+  CoherenceProtocol& protocol() { return *protocol_; }
+  const CoherenceProtocol& protocol() const { return *protocol_; }
   CpageTable& cpages() { return cpages_; }
   const CpageTable& cpages() const { return cpages_; }
   hw::ProcessorMmu& mmu(int processor);
@@ -191,6 +200,13 @@ class CoherentMemory {
   void CheckInvariants() const;
 
  private:
+  // The concrete protocols drive the private fault-resolution helpers
+  // (AllocateFrame, CopyInto, shootdown rounds, lease scrubs, ...) directly;
+  // they are the protocol layer's implementation, split into their own
+  // translation units.
+  friend class DirectoryProtocol;
+  friend class TardisProtocol;
+
   // One shootdown round accumulates targets across restrict/invalidate steps
   // so the initiator pays the setup latency once per fault.
   struct ShootdownRound {
@@ -210,12 +226,18 @@ class CoherentMemory {
   // Charges the initiator for the round's IPIs and bills handler time to the
   // interrupted processors.
   void CommitShootdown(const Cpage& page, const ShootdownRound& round, int initiator);
+  // Lease-protocol scrubs: the structural effect of a shootdown with none of
+  // its cost model — no IPIs, no messages, no interrupted processors. Used
+  // after a lease wait has guaranteed no processor still relies on the
+  // translations. Each charges per-translation directory bookkeeping and
+  // returns the number of translations touched.
+  uint32_t ScrubWriteMappings(Cpage& page);                  // RW -> R everywhere
+  uint32_t ScrubMappingsToCopy(Cpage& page, int module);     // module < 0: all
+  uint32_t ScrubAllMappings(Cpage& page);
 
   // ---- fault_handler.cc ----
   AccessOutcome HandleFaultLocked(Cmap& cm, CmapEntry& entry, Cpage& page, uint32_t vpn,
                                   sim::AccessKind kind, int processor);
-  void HandleReadFault(Cmap& cm, CmapEntry& entry, Cpage& page, uint32_t vpn, int processor);
-  void HandleWriteFault(Cmap& cm, CmapEntry& entry, Cpage& page, uint32_t vpn, int processor);
   // Allocates a frame for `page`, preferring `preferred_module`; falls back
   // to the page's home module, then any module. Charges probe costs.
   std::optional<PhysicalCopy> AllocateFrame(Cpage& page, int preferred_module);
@@ -300,6 +322,7 @@ class CoherentMemory {
 
   sim::Machine* machine_;
   std::unique_ptr<ReplicationPolicy> policy_;
+  std::unique_ptr<CoherenceProtocol> protocol_;
   std::vector<hw::ProcessorMmu> mmus_;
   CpageTable cpages_;
   std::vector<std::unique_ptr<Cmap>> cmaps_;

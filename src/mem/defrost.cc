@@ -10,6 +10,7 @@
 
 #include "src/base/check.h"
 #include "src/mem/coherent_memory.h"
+#include "src/mem/protocol.h"
 
 namespace platinum::mem {
 
@@ -112,9 +113,7 @@ void CoherentMemory::Thaw(uint32_t cpage_id) {
   // decides afresh. This is *not* a coherence invalidation: it must not
   // update the page's interference history, or frozen pages would refreeze
   // on their next fault.
-  ShootdownRound round;
-  InvalidateAllMappings(page, initiator, &round);
-  CommitShootdown(page, round, initiator);
+  protocol_->ReleaseAllMappings(page, initiator);
   PLAT_CHECK_EQ(page.write_mappings(), 0u);
   if (page.state() == CpageState::kModified) {
     page.SetState(CpageState::kPresent1);  // protocol: thaw-downgrade modified -> present1

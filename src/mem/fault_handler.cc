@@ -11,6 +11,7 @@
 
 #include "src/base/check.h"
 #include "src/mem/coherent_memory.h"
+#include "src/mem/protocol.h"
 
 namespace platinum::mem {
 
@@ -90,209 +91,16 @@ AccessOutcome CoherentMemory::HandleFault(uint32_t as_id, uint32_t vpn, sim::Acc
 AccessOutcome CoherentMemory::HandleFaultLocked(Cmap& cm, CmapEntry& entry, Cpage& page,
                                                 uint32_t vpn, sim::AccessKind kind,
                                                 int processor) {
+  // Fault resolution — which copies to make, which to destroy, and what the
+  // page's state becomes — belongs to the coherence protocol. The handler
+  // above owns everything protocol-independent: trap cost, per-page
+  // serialization, tracing, invariant checks.
   if (kind == sim::AccessKind::kRead) {
-    HandleReadFault(cm, entry, page, vpn, processor);
+    protocol_->OnReadFault(cm, entry, page, vpn, processor);
   } else {
-    HandleWriteFault(cm, entry, page, vpn, processor);
+    protocol_->OnWriteFault(cm, entry, page, vpn, processor);
   }
   return AccessOutcome::kOk;
-}
-
-void CoherentMemory::HandleReadFault(Cmap& cm, CmapEntry& entry, Cpage& page, uint32_t vpn,
-                                     int processor) {
-  sim::Scheduler& sched = machine_->scheduler();
-  const sim::MachineParams& params = machine_->params();
-
-  if (page.state() == CpageState::kEmpty) {
-    PhysicalCopy copy = InitialFill(page, processor);
-    page.AddCopy(copy);
-    page.SetState(CpageState::kPresent1);  // protocol: read-fill empty -> present1
-    ++machine_->stats().initial_fills;
-    ++machine_->obs().cpu(processor).initial_fills;
-    Trace(TraceEventType::kFill, page, processor, static_cast<uint32_t>(copy.module));
-    EnterMapping(cm, entry, page, vpn, processor, copy, hw::Rights::kRead);
-    return;
-  }
-
-  if (page.HasCopyOn(processor)) {
-    // A local copy already exists (e.g. through another address space). The
-    // handler locates it through the local inverted page table — strictly
-    // local references (Section 3.3).
-    auto probe = machine_->module(processor).FindFrame(page.id());
-    PLAT_CHECK(probe.has_value()) << "directory says module " << processor
-                                  << " backs cpage " << page.id() << " but no frame found";
-    machine_->Compute(static_cast<sim::SimTime>(probe->probes) * params.local_read_ns);
-    EnterMapping(cm, entry, page, vpn, processor,
-                 PhysicalCopy{static_cast<int16_t>(processor), probe->frame}, hw::Rights::kRead);
-    return;
-  }
-
-  FaultInfo info{cm.as_id(), vpn, processor, /*is_write=*/false};
-  bool cache = DecideCache(page, info, sched.now());
-  std::optional<PhysicalCopy> frame =
-      cache ? AllocateFrame(page, processor) : std::nullopt;
-
-  if (frame.has_value()) {
-    // Replicate. A modified source must first be restricted to read-only so
-    // the copy cannot go stale mid-flight (modified -> present1 -> present+).
-    if (page.frozen()) {
-      Unfreeze(page);
-    }
-    if (page.state() == CpageState::kModified) {
-      ShootdownRound round;
-      RestrictCpageToRead(page, processor, &round);
-      CommitShootdown(page, round, processor);
-      page.SetState(CpageState::kPresent1);  // protocol: restrict modified -> present1
-    }
-    CopyInto(page, *frame);
-    page.AddCopy(*frame);
-    page.SetState(CpageState::kPresentPlus);  // protocol: replicate present1|present+ -> present+
-    ++page.stats().replications;
-    ++machine_->stats().replications;
-    ++machine_->obs().cpu(processor).replications;
-    Trace(TraceEventType::kReplicate, page, processor, static_cast<uint32_t>(frame->module));
-    EnterMapping(cm, entry, page, vpn, processor, *frame, hw::Rights::kRead);
-    return;
-  }
-
-  // Remote mapping to an existing copy; read mappings never break coherence.
-  const PhysicalCopy& copy = page.PrimaryCopy();
-  EnterMapping(cm, entry, page, vpn, processor, copy, hw::Rights::kRead);
-  ++page.stats().remote_maps;
-  ++machine_->stats().remote_maps;
-  ++machine_->obs().cpu(processor).remote_maps;
-  Trace(TraceEventType::kRemoteMap, page, processor, static_cast<uint32_t>(copy.module));
-  if (!cache) {
-    MaybeFreeze(page);
-  }
-}
-
-void CoherentMemory::HandleWriteFault(Cmap& cm, CmapEntry& entry, Cpage& page, uint32_t vpn,
-                                      int processor) {
-  sim::Scheduler& sched = machine_->scheduler();
-  const sim::MachineParams& params = machine_->params();
-
-  if (page.state() == CpageState::kEmpty) {
-    PhysicalCopy copy = InitialFill(page, processor);
-    page.AddCopy(copy);
-    page.SetState(CpageState::kModified);  // protocol: write-fill empty -> modified
-    ++machine_->stats().initial_fills;
-    ++machine_->obs().cpu(processor).initial_fills;
-    Trace(TraceEventType::kFill, page, processor, static_cast<uint32_t>(copy.module));
-    EnterMapping(cm, entry, page, vpn, processor, copy, hw::Rights::kReadWrite);
-    return;
-  }
-
-  if (page.HasCopyOn(processor)) {
-    auto probe = machine_->module(processor).FindFrame(page.id());
-    PLAT_CHECK(probe.has_value());
-    machine_->Compute(static_cast<sim::SimTime>(probe->probes) * params.local_read_ns);
-    PhysicalCopy local{static_cast<int16_t>(processor), probe->frame};
-
-    if (page.state() == CpageState::kPresentPlus) {
-      // present+ -> modified: invalidate every remote copy's translations and
-      // reclaim the physical pages (Section 3.3).
-      std::vector<int> victims;
-      for (const PhysicalCopy& copy : page.copies()) {
-        if (copy.module != processor) {
-          victims.push_back(copy.module);
-        }
-      }
-      ShootdownRound round;
-      for (int module : victims) {
-        InvalidateMappingsToCopy(page, module, processor, &round);
-      }
-      CommitShootdown(page, round, processor);
-      for (int module : victims) {
-        FreeCopy(page, module);
-      }
-      page.RecordInvalidation(sched.now());
-      ++page.stats().invalidation_rounds;
-      page.SetState(CpageState::kPresent1);  // protocol: collapse present+ -> present1
-    }
-    // present1 -> modified needs neither invalidation nor reclamation — the
-    // reason the protocol distinguishes the two states (Section 3.2).
-    EnterMapping(cm, entry, page, vpn, processor, local, hw::Rights::kReadWrite);
-    page.SetState(CpageState::kModified);  // protocol: upgrade present1|modified -> modified
-    return;
-  }
-
-  // No local copy: migrate or map the remote copy for writing.
-  FaultInfo info{cm.as_id(), vpn, processor, /*is_write=*/true};
-  bool cache = DecideCache(page, info, sched.now());
-  std::optional<PhysicalCopy> frame =
-      cache ? AllocateFrame(page, processor) : std::nullopt;
-
-  if (frame.has_value()) {
-    // Migrate: invalidate all translations to the old copies, block-transfer
-    // the data, then reclaim the old frames.
-    if (page.frozen()) {
-      Unfreeze(page);
-    }
-    ShootdownRound round;
-    std::vector<int> victims;
-    for (const PhysicalCopy& copy : page.copies()) {
-      victims.push_back(copy.module);
-    }
-    for (int module : victims) {
-      InvalidateMappingsToCopy(page, module, processor, &round);
-    }
-    CommitShootdown(page, round, processor);
-    CopyInto(page, *frame);
-    for (int module : victims) {
-      FreeCopy(page, module);
-    }
-    if (round.invalidated_translations > 0) {
-      // Someone else lost a translation: interprocessor interference the
-      // replication policy should know about.
-      page.RecordInvalidation(sched.now());
-      ++page.stats().invalidation_rounds;
-    }
-    page.AddCopy(*frame);
-    // protocol: migrate present1|present+|modified -> modified
-    page.SetState(CpageState::kModified);
-    ++page.stats().migrations;
-    ++machine_->stats().migrations;
-    ++machine_->obs().cpu(processor).migrations;
-    Trace(TraceEventType::kMigrate, page, processor, static_cast<uint32_t>(frame->module));
-    EnterMapping(cm, entry, page, vpn, processor, *frame, hw::Rights::kReadWrite);
-    return;
-  }
-
-  // Remote write mapping. Writes require a single physical copy, so a
-  // replicated page first collapses to one.
-  if (page.state() == CpageState::kPresentPlus) {
-    const PhysicalCopy keep = page.PrimaryCopy();
-    std::vector<int> victims;
-    for (const PhysicalCopy& copy : page.copies()) {
-      if (copy.module != keep.module) {
-        victims.push_back(copy.module);
-      }
-    }
-    ShootdownRound round;
-    for (int module : victims) {
-      InvalidateMappingsToCopy(page, module, processor, &round);
-    }
-    CommitShootdown(page, round, processor);
-    for (int module : victims) {
-      FreeCopy(page, module);
-    }
-    if (round.invalidated_translations > 0) {
-      page.RecordInvalidation(sched.now());
-      ++page.stats().invalidation_rounds;
-    }
-    page.SetState(CpageState::kPresent1);  // protocol: collapse present+ -> present1
-  }
-  const PhysicalCopy& copy = page.PrimaryCopy();
-  EnterMapping(cm, entry, page, vpn, processor, copy, hw::Rights::kReadWrite);
-  page.SetState(CpageState::kModified);  // protocol: upgrade present1|modified -> modified
-  ++page.stats().remote_maps;
-  ++machine_->stats().remote_maps;
-  ++machine_->obs().cpu(processor).remote_maps;
-  Trace(TraceEventType::kRemoteMap, page, processor, static_cast<uint32_t>(copy.module));
-  if (!cache) {
-    MaybeFreeze(page);
-  }
 }
 
 std::optional<PhysicalCopy> CoherentMemory::AllocateFrame(Cpage& page, int preferred_module) {
@@ -401,6 +209,9 @@ bool CoherentMemory::DecideCache(Cpage& page, const FaultInfo& fault, sim::SimTi
 }
 
 void CoherentMemory::MaybeFreeze(Cpage& page) {
+  if (!protocol_->UsesFreezing()) {
+    return;
+  }
   bool wants_freeze =
       policy_->FreezeOnDecline() || page.advice() == MemoryAdvice::kWriteShared;
   if (!wants_freeze || page.frozen()) {

@@ -1,0 +1,32 @@
+#include "src/mem/protocol.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace platinum::mem {
+
+std::unique_ptr<CoherenceProtocol> MakeProtocol(const std::string& name, sim::SimTime lease_ns,
+                                                const std::string& lease_policy) {
+  if (name == "directory") {
+    return std::make_unique<DirectoryProtocol>();
+  }
+  if (name == "tardis") {
+    sim::SimTime lease = lease_ns > 0 ? lease_ns : kDefaultLeaseNs;
+    std::unique_ptr<LeasePolicy> policy;
+    if (lease_policy == "fixed") {
+      policy = std::make_unique<FixedLeasePolicy>(lease);
+    } else if (lease_policy == "doubling") {
+      policy = std::make_unique<DoublingLeasePolicy>(lease, lease * 16);
+    } else {
+      PLAT_CHECK(false) << "unknown lease policy '" << lease_policy
+                        << "' (want fixed|doubling)";
+    }
+    return std::make_unique<TardisProtocol>(std::move(policy));
+  }
+  PLAT_CHECK(false) << "unknown coherence protocol '" << name << "' (want directory|tardis)";
+  return nullptr;
+}
+
+}  // namespace platinum::mem

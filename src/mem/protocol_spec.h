@@ -1,20 +1,22 @@
-// C++ view of the machine-readable protocol spec (protocol_spec.json).
+// C++ view of the machine-readable protocol specs (protocol_spec*.json).
 //
-// The JSON file is the normative transition table of the 4-state directory
-// protocol (docs/PROTOCOL.md); tools/gen_protocol_spec.py compiles it into
-// protocol_spec.gen.h, and this header wraps the generated tables in typed
-// queries. Three consumers share this one source of truth:
+// Each coherence protocol carries a normative transition table as JSON
+// (docs/PROTOCOL.md): protocol_spec.json for the 4-state directory protocol
+// and protocol_spec_tardis.json for the timestamp/lease protocol.
+// tools/gen_protocol_spec.py compiles them into protocol_spec.gen.h, and
+// this header wraps the generated tables in typed queries parametrized by
+// ProtocolKind. Three consumers share this one source of truth:
 //
 //   * the implementation — every Cpage::SetState site in src/mem carries a
 //     `// protocol:` annotation that platlint's protocol-conformance rule
-//     diffs against the spec's micro transitions;
+//     diffs against the specs' micro transitions;
 //   * the invariant oracle (src/check/oracle) — validates every per-page
-//     state change a completed transition produced against the spec's
-//     composed event rows;
+//     state change a completed transition produced against the active
+//     protocol's composed event rows;
 //   * the bounded explorer (src/check/explorer) — records the (trigger,
-//     from, to) edges it replays and checks each against the spec; the
-//     protocol_spec ctest proves the closed 2p/3p edge set equals the
-//     spec's reachable relation.
+//     from, to) edges it replays and checks each against the active spec;
+//     the protocol_spec ctest proves the closed 2p/3p edge set equals the
+//     spec's reachable relation, per protocol.
 #ifndef SRC_MEM_PROTOCOL_SPEC_H_
 #define SRC_MEM_PROTOCOL_SPEC_H_
 
@@ -26,8 +28,23 @@
 
 namespace platinum::mem {
 
+// The committed protocols, in the order of the generated spec registry
+// (spec_gen::kSpecs) and of the `protocol` field of the spec JSONs.
+enum class ProtocolKind : uint8_t {
+  kDirectory = 0,
+  kTardis = 1,
+};
+
+const char* ProtocolKindName(ProtocolKind kind);
+
+// Maps a runtime protocol name ("directory" | "tardis") to its kind.
+// Returns false for unknown names.
+bool ProtocolKindFromName(const char* name, ProtocolKind* out);
+
 // External events that complete a protocol transition, in the order of the
 // spec's trigger table (and of CoherentMemory::NotifyTransition names).
+// Both specs declare the same states and triggers — only the rows differ —
+// so trigger indices are protocol-independent.
 enum class ProtocolTrigger : uint8_t {
   kRead = 0,         // "read-fault"
   kWrite = 1,        // "write-fault"
@@ -43,14 +60,15 @@ const char* ProtocolTriggerName(ProtocolTrigger trigger);
 // trigger. Returns false for unknown names.
 bool ProtocolTriggerFromTransitionName(const char* name, ProtocolTrigger* out);
 
-// True iff the spec allows a page observed in `from` before the trigger to
-// be in `to` when the transition hook fires (self-edges included).
-bool ProtocolAllowsEdge(ProtocolTrigger trigger, CpageState from, CpageState to);
+// True iff `kind`'s spec allows a page observed in `from` before the trigger
+// to be in `to` when the transition hook fires (self-edges included).
+bool ProtocolAllowsEdge(ProtocolKind kind, ProtocolTrigger trigger, CpageState from,
+                        CpageState to);
 
-// Bit i set iff CpageState(i) appears in some allowed transition.
-uint32_t ProtocolReachableStateMask();
+// Bit i set iff CpageState(i) appears in some allowed transition of `kind`.
+uint32_t ProtocolReachableStateMask(ProtocolKind kind);
 
-// One composed (trigger, from, to) row of the spec.
+// One composed (trigger, from, to) row of a spec.
 struct ProtocolEdge {
   ProtocolTrigger trigger;
   CpageState from;
@@ -64,9 +82,9 @@ struct ProtocolEdge {
   }
 };
 
-// All spec rows, sorted (stable across runs; the generator emits them in
-// spec order, this accessor re-sorts for set comparisons).
-const std::vector<ProtocolEdge>& ProtocolEdges();
+// All rows of `kind`'s spec, sorted (stable across runs; the generator emits
+// them in spec order, this accessor re-sorts for set comparisons).
+const std::vector<ProtocolEdge>& ProtocolEdges(ProtocolKind kind);
 
 }  // namespace platinum::mem
 

@@ -98,6 +98,73 @@ void CoherentMemory::InvalidateAllMappings(Cpage& page, int initiator, Shootdown
   InvalidateMappingsToCopy(page, /*module=*/-1, initiator, round);
 }
 
+uint32_t CoherentMemory::ScrubWriteMappings(Cpage& page) {
+  // The structural half of RestrictCpageToRead, used by lease protocols
+  // after the write lease has expired: the writer is no longer entitled to
+  // the RW translation, so it is downgraded host-side — no messages, no
+  // IPIs, no interrupted processors. Only the per-translation directory
+  // bookkeeping is charged.
+  uint32_t scrubbed = 0;
+  for (const CpageMapper& mapper : page.mappers()) {
+    Cmap& cm = cmap(mapper.as_id);
+    CmapEntry& entry = cm.entry(mapper.vpn);
+    for (int p = 0; p < machine_->num_nodes(); ++p) {
+      if (((entry.reference_mask >> p) & 1) == 0) {
+        continue;
+      }
+      hw::Pmap& pmap = cm.pmap(p);
+      const hw::PmapEntry& pe = pmap.entry(mapper.vpn);
+      PLAT_CHECK(pe.valid) << "reference mask bit without translation";
+      if (pe.rights != hw::Rights::kReadWrite) {
+        continue;
+      }
+      pmap.Restrict(mapper.vpn, hw::Rights::kRead);
+      page.DropWriteMapping();
+      mmus_[p].atc().FlushPage(mapper.as_id, mapper.vpn);
+      ++scrubbed;
+      ++machine_->stats().mappings_restricted;
+    }
+  }
+  PLAT_CHECK_EQ(page.write_mappings(), 0u) << "scrub left write mappings on cpage "
+                                           << page.id();
+  machine_->Compute(static_cast<sim::SimTime>(scrubbed) * machine_->params().local_read_ns);
+  return scrubbed;
+}
+
+uint32_t CoherentMemory::ScrubMappingsToCopy(Cpage& page, int module) {
+  // The structural half of InvalidateMappingsToCopy, after a lease wait.
+  uint32_t scrubbed = 0;
+  for (const CpageMapper& mapper : page.mappers()) {
+    Cmap& cm = cmap(mapper.as_id);
+    CmapEntry& entry = cm.entry(mapper.vpn);
+    for (int p = 0; p < machine_->num_nodes(); ++p) {
+      if (((entry.reference_mask >> p) & 1) == 0) {
+        continue;
+      }
+      hw::Pmap& pmap = cm.pmap(p);
+      const hw::PmapEntry& pe = pmap.entry(mapper.vpn);
+      PLAT_CHECK(pe.valid) << "reference mask bit without translation";
+      if (module >= 0 && pe.module != module) {
+        continue;
+      }
+      if (pe.rights == hw::Rights::kReadWrite) {
+        page.DropWriteMapping();
+      }
+      pmap.Remove(mapper.vpn);
+      entry.reference_mask &= ~(uint64_t{1} << p);
+      mmus_[p].atc().FlushPage(mapper.as_id, mapper.vpn);
+      ++scrubbed;
+      ++machine_->stats().mappings_invalidated;
+    }
+  }
+  machine_->Compute(static_cast<sim::SimTime>(scrubbed) * machine_->params().local_read_ns);
+  return scrubbed;
+}
+
+uint32_t CoherentMemory::ScrubAllMappings(Cpage& page) {
+  return ScrubMappingsToCopy(page, /*module=*/-1);
+}
+
 void CoherentMemory::CommitShootdown(const Cpage& page, const ShootdownRound& round,
                                      int initiator) {
   const sim::MachineParams& params = machine_->params();

@@ -32,6 +32,8 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "pin";
     case TraceEventType::kUnbind:
       return "unbind";
+    case TraceEventType::kLeaseExpire:
+      return "lease-expire";
   }
   return "?";
 }

@@ -32,6 +32,9 @@ enum class TraceEventType : uint8_t {
   kPageFree,     // physical copy reclaimed; detail: module freed
   kPin,          // explicit PinTo placement; detail: target module
   kUnbind,       // (as, vpn) binding removed; detail: address-space id
+  kLeaseExpire,  // lease protocol reclaimed translations after a lease wait;
+                 // detail: translations reclaimed. NOT an invalidation IPI —
+                 // forensics must not count it as a shootdown.
 };
 
 // Named via a switch with no default: adding an enumerator without a name

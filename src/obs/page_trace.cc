@@ -123,6 +123,11 @@ void PageTrace::UpdateDetectors(PageRollup& r, const mem::TraceEvent& event) {
     case mem::TraceEventType::kShootdown:
       ++r.shootdowns;
       break;
+    case mem::TraceEventType::kLeaseExpire:
+      // Lease reclamation is not an invalidation IPI; kept separate so the
+      // ping-pong detector keyed on shootdowns stays meaningful under tardis.
+      ++r.lease_expiries;
+      break;
     case mem::TraceEventType::kDefrostScan:
       break;  // machine-wide; never reaches here (no cpage)
     case mem::TraceEventType::kPageFree: {
@@ -305,6 +310,7 @@ std::string PageTrace::ToJson() const {
     w.Key("freezes").Value(r.freezes);
     w.Key("thaws").Value(r.thaws);
     w.Key("shootdowns").Value(r.shootdowns);
+    w.Key("lease_expiries").Value(r.lease_expiries);
     w.Key("frees").Value(r.frees);
     w.Key("pins").Value(r.pins);
     w.Key("unbinds").Value(r.unbinds);

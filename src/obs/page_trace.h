@@ -76,6 +76,7 @@ class PageTrace : public mem::PageEventSink, public mem::AccessObserver {
     uint64_t freezes = 0;
     uint64_t thaws = 0;
     uint64_t shootdowns = 0;
+    uint64_t lease_expiries = 0;
     uint64_t frees = 0;
     uint64_t pins = 0;
     uint64_t unbinds = 0;
@@ -123,7 +124,11 @@ class PageTrace : public mem::PageEventSink, public mem::AccessObserver {
 
   // --- Detectors ---------------------------------------------------------------
   bool IsPingPong(const PageRollup& r) const {
-    return r.write_alternations >= options_.ping_pong_min_alternations;
+    // Writer alternation only qualifies when it was served by invalidation
+    // rounds. Under a lease protocol the same alternation shows up as lease
+    // expiries — priced by waiting, not by an IPI storm — and must not be
+    // flagged as shootdown ping-pong.
+    return r.write_alternations >= options_.ping_pong_min_alternations && r.shootdowns > 0;
   }
   bool IsFreezeChurn(const PageRollup& r) const {
     return r.freeze_cycles >= options_.freeze_churn_min_cycles;

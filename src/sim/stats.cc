@@ -19,6 +19,10 @@ std::string MachineStats::ToString() const {
   out << "block transfers: " << block_transfers << " (" << block_words_copied << " words)\n";
   out << "contention: module wait " << ToMilliseconds(module_wait_ns) << " ms, handler wait "
       << ToMilliseconds(fault_handler_wait_ns) << " ms\n";
+  if (lease_waits > 0) {
+    out << "leases: " << lease_waits << " expiry waits, "
+        << ToMilliseconds(lease_wait_ns) << " ms waited\n";
+  }
   return out.str();
 }
 
@@ -48,6 +52,8 @@ MachineStats operator-(const MachineStats& a, const MachineStats& b) {
   d.block_words_copied = a.block_words_copied - b.block_words_copied;
   d.module_wait_ns = a.module_wait_ns - b.module_wait_ns;
   d.fault_handler_wait_ns = a.fault_handler_wait_ns - b.fault_handler_wait_ns;
+  d.lease_waits = a.lease_waits - b.lease_waits;
+  d.lease_wait_ns = a.lease_wait_ns - b.lease_wait_ns;
   return d;
 }
 

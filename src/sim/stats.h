@@ -40,6 +40,8 @@ struct MachineStats {
   uint64_t mappings_invalidated = 0;
   uint64_t mappings_restricted = 0;
   uint64_t pages_freed = 0;
+  uint64_t lease_waits = 0;      // lease-protocol expiry waits (tardis)
+  SimTime lease_wait_ns = 0;     // simulated time spent in those waits
 
   // Block-transfer engine.
   uint64_t block_transfers = 0;

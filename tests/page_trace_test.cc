@@ -43,14 +43,18 @@ mem::TraceEvent ReadFault(uint32_t cpage, int16_t processor, sim::SimTime time =
 
 TEST(PageTraceTest, PingPongCountsWriteInvalidateAlternations) {
   PageTrace pt;  // default threshold: 3 alternations
-  // Writers 0,1,0,1: three writer changes, each one a write-invalidate.
+  // Writers 0,1,0,1: three writer changes, each one a write-invalidate the
+  // directory protocol resolves with a shootdown round.
   pt.OnPageEvent(WriteFault(5, 0));
   pt.OnPageEvent(WriteFault(5, 1));
+  pt.OnPageEvent(Event(mem::TraceEventType::kShootdown, 5, 1));
   pt.OnPageEvent(WriteFault(5, 0));
+  pt.OnPageEvent(Event(mem::TraceEventType::kShootdown, 5, 0));
   ASSERT_NE(pt.rollup(5), nullptr);
   EXPECT_EQ(pt.rollup(5)->write_alternations, 2u);
   EXPECT_FALSE(pt.IsPingPong(*pt.rollup(5)));
   pt.OnPageEvent(WriteFault(5, 1));
+  pt.OnPageEvent(Event(mem::TraceEventType::kShootdown, 5, 1));
   EXPECT_EQ(pt.rollup(5)->write_alternations, 3u);
   EXPECT_TRUE(pt.IsPingPong(*pt.rollup(5)));
   EXPECT_EQ(pt.FlaggedPingPong(), (std::vector<uint32_t>{5}));
@@ -62,9 +66,27 @@ TEST(PageTraceTest, NPartyRotationAlsoPingPongs) {
   PageTrace pt;
   for (int16_t p : {0, 1, 2, 3}) {
     pt.OnPageEvent(WriteFault(9, p));
+    pt.OnPageEvent(Event(mem::TraceEventType::kShootdown, 9, p));
   }
   EXPECT_EQ(pt.rollup(9)->write_alternations, 3u);
   EXPECT_TRUE(pt.IsPingPong(*pt.rollup(9)));
+}
+
+TEST(PageTraceTest, LeaseExpiriesAreNotShootdownsAndDoNotPingPong) {
+  // The same writer rotation under a lease protocol: ownership moves by
+  // waiting out leases (kLeaseExpire), never by interrupting anyone. The
+  // rotation is visible in write_alternations, but with zero shootdowns the
+  // ping-pong detector must stay quiet — there is no IPI storm to fix.
+  PageTrace pt;
+  for (int16_t p : {0, 1, 2, 3}) {
+    pt.OnPageEvent(WriteFault(9, p));
+    pt.OnPageEvent(Event(mem::TraceEventType::kLeaseExpire, 9, p, /*detail=*/1));
+  }
+  EXPECT_EQ(pt.rollup(9)->write_alternations, 3u);
+  EXPECT_EQ(pt.rollup(9)->shootdowns, 0u);
+  EXPECT_EQ(pt.rollup(9)->lease_expiries, 4u);
+  EXPECT_FALSE(pt.IsPingPong(*pt.rollup(9)));
+  EXPECT_TRUE(pt.FlaggedPingPong().empty());
 }
 
 TEST(PageTraceTest, SingleWriterAndReadFaultsDoNotPingPong) {

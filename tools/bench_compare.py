@@ -3,6 +3,7 @@
 
 Usage:
     bench_compare.py BASELINE.json CANDIDATE.json [--max-regression FRAC]
+                     [--allow-new BENCH ...]
     bench_compare.py --selftest
 
 The gate enforces two properties, mirroring docs/PERFORMANCE.md:
@@ -18,7 +19,11 @@ The gate enforces two properties, mirroring docs/PERFORMANCE.md:
 A degenerate comparison is a failure, not a silent pass: a bench present in
 only one report, a metric reported on only one side of a shared bench, or a
 non-positive accesses_per_sec all fail the gate — each of those means the
-reports do not actually cover each other.
+reports do not actually cover each other. The one sanctioned asymmetry is
+--allow-new: benches named there may appear only in the candidate (a PR that
+adds a bench still gates every pre-existing bench), and their contribution is
+subtracted from the candidate's totals before the totals are compared, so the
+exact-sim-seconds property keeps holding over the shared bench set.
 
 The two reports must describe the same configuration (host.small/host.full);
 comparing a small run against a full run is a usage error (exit 2), as are
@@ -59,7 +64,34 @@ def load(path):
     return doc
 
 
-def compare(base, cand, max_regression):
+def totals_without(doc, names):
+    """The report's totals with the named benches' contributions removed.
+
+    Sums (sim_seconds, references, host_seconds) are subtracted directly;
+    accesses_per_sec is re-derived from the adjusted sums. Rounding mirrors
+    bench_report.py so an unchanged shared bench set reproduces the baseline
+    totals bit-for-bit.
+    """
+    totals = dict(doc.get("totals", {}))
+    benches = doc.get("benches", {})
+    removed = [benches[n] for n in names if n in benches]
+    if not removed:
+        return totals
+    for entry in removed:
+        if "sim_seconds" in totals and "sim_seconds" in entry:
+            totals["sim_seconds"] = round(totals["sim_seconds"] - entry["sim_seconds"], 3)
+        if "references" in totals and "references" in entry:
+            totals["references"] -= entry["references"]
+        if "host_seconds" in totals and "host_seconds" in entry:
+            totals["host_seconds"] = round(totals["host_seconds"] - entry["host_seconds"], 3)
+    if "accesses_per_sec" in totals:
+        host = totals.get("host_seconds", 0)
+        refs = totals.get("references", 0)
+        totals["accesses_per_sec"] = round(refs / host) if host > 0 else None
+    return totals
+
+
+def compare(base, cand, max_regression, allow_new=frozenset()):
     """Returns a list of human-readable failure strings (empty = pass)."""
     failures = []
     floor = 1.0 - max_regression
@@ -91,13 +123,18 @@ def compare(base, cand, max_regression):
             elif key in b:
                 check(label, b[key], c[key])
 
-    check_pair("totals", base.get("totals", {}), cand.get("totals", {}))
-
     base_names = set(base.get("benches", {}))
     cand_names = set(cand.get("benches", {}))
+    # Only genuinely-new benches are carved out of the candidate's totals; an
+    # --allow-new name that exists in both reports is compared normally.
+    check_pair("totals", base.get("totals", {}),
+               totals_without(cand, set(allow_new) & (cand_names - base_names)))
+
     for name in sorted(base_names - cand_names):
         failures.append(f"{name}: present only in the baseline (bench disappeared)")
     for name in sorted(cand_names - base_names):
+        if name in allow_new:
+            continue
         failures.append(f"{name}: present only in the candidate (no baseline to compare)")
     for name in sorted(base_names & cand_names):
         check_pair(name, base["benches"][name], cand["benches"][name])
@@ -172,6 +209,39 @@ def selftest():
         print("selftest FAILED: baseline-less bench not caught")
         return 1
 
+    # --allow-new: an added bench passes when sanctioned (totals re-derived
+    # over the shared set), still fails when it is not.
+    grown = copy.deepcopy(base)
+    grown["benches"]["abl_new"] = {
+        "accesses_per_sec": 1.0e6,
+        "sim_seconds": 3.0,
+        "references": 3_000_000,
+        "host_seconds": 3.0,
+    }
+    grown["totals"] = {
+        "accesses_per_sec": 1.0e6,  # recomputed below from the new sums
+        "sim_seconds": round(base["totals"]["sim_seconds"] + 3.0, 3),
+    }
+    base["totals"]["references"] = 12_000_000
+    base["totals"]["host_seconds"] = 3.0
+    grown["totals"]["references"] = 15_000_000
+    grown["totals"]["host_seconds"] = 6.0
+    base["totals"]["accesses_per_sec"] = round(12_000_000 / 3.0)
+    grown["totals"]["accesses_per_sec"] = round(15_000_000 / 6.0)
+    if compare(base, grown, DEFAULT_MAX_REGRESSION, allow_new={"abl_new"}):
+        print(
+            f"selftest FAILED: sanctioned new bench rejected "
+            f"({compare(base, grown, DEFAULT_MAX_REGRESSION, allow_new={'abl_new'})})"
+        )
+        return 1
+    if not any("only in the candidate" in f
+               for f in compare(base, grown, DEFAULT_MAX_REGRESSION)):
+        print("selftest FAILED: unsanctioned new bench accepted")
+        return 1
+    del base["totals"]["references"]
+    del base["totals"]["host_seconds"]
+    base["totals"]["accesses_per_sec"] = 4.0e6
+
     silent = copy.deepcopy(base)
     del silent["benches"]["abl_policy"]["accesses_per_sec"]
     if not any("reported only by the baseline" in f
@@ -220,6 +290,14 @@ def main():
         default=DEFAULT_MAX_REGRESSION,
         help="allowed fractional accesses_per_sec drop (default %(default)s)",
     )
+    parser.add_argument(
+        "--allow-new",
+        nargs="*",
+        default=[],
+        metavar="BENCH",
+        help="benches allowed to exist only in the candidate (their totals "
+             "contribution is subtracted before comparing)",
+    )
     parser.add_argument("--selftest", action="store_true", help="verify the gate fires")
     args = parser.parse_args()
 
@@ -235,7 +313,7 @@ def main():
         print(f"error: reports are not comparable: {mismatch}", file=sys.stderr)
         return 2
 
-    failures = compare(base, cand, args.max_regression)
+    failures = compare(base, cand, args.max_regression, frozenset(args.allow_new))
     if failures:
         print(f"bench_compare: {args.candidate} vs {args.baseline}: FAIL")
         for failure in failures:

@@ -50,4 +50,9 @@ check() {
 
 check gauss gauss --procs=4 --n=48
 check sort sort --procs=4 --count=8192
+# The tardis protocol replaces shootdown rounds with lease waits; its event
+# stream must be just as deterministic, and just as immune to the bench
+# worker knob, as the directory protocol's.
+check gauss_tardis gauss --procs=4 --n=48 --protocol=tardis
+check sort_tardis sort --procs=4 --count=8192 --protocol=tardis
 echo "determinism_check: all scenarios byte-identical"

@@ -1,11 +1,15 @@
 #!/usr/bin/env python3
-"""Compiles src/mem/protocol_spec.json into src/mem/protocol_spec.gen.h.
+"""Compiles the protocol specs (src/mem/protocol_spec*.json) into
+src/mem/protocol_spec.gen.h.
 
-The JSON file is the normative transition table of the PLATINUM directory
-protocol (docs/PROTOCOL.md); the generated header is the single source of
+Each committed coherence protocol carries a normative transition table as
+JSON (docs/PROTOCOL.md): protocol_spec.json for the directory protocol and
+protocol_spec_tardis.json for the timestamp/lease protocol. All specs share
+one generated header — a nested namespace per protocol plus the spec_gen::
+kSpecs registry indexed by mem::ProtocolKind — which is the single source of
 truth consumed by the C++ side (src/mem/protocol_spec.{h,cc}, the invariant
 oracle, and the bounded explorer). platlint's protocol-conformance rule
-reads the JSON directly.
+reads the JSONs directly.
 
 Validation performed before emitting anything:
 
@@ -16,13 +20,13 @@ Validation performed before emitting anything:
   * `mutation_files` exist in the repo (with --root).
 
 On top of validation, the spec-level verifier (always run; reported and
-cross-checked against the committed proof artifact with --verify) closes
+cross-checked against the committed proof artifacts with --verify) closes
 the abstract state space
 
     (cpage state, frozen flag, per-processor translation rights)
 
 for 2 and 3 processors under every trigger, using the declarative
-`micro_semantics` section of the spec, and proves:
+`micro_semantics` section of each spec, and proves:
 
   * swmr                   — a write mapping implies the page is in the
                              single writable-copy state (`modified`); a
@@ -38,16 +42,21 @@ for 2 and 3 processors under every trigger, using the declarative
                              every frozen placed page has a thaw row;
   * no-unreachable-rows    — every event row is exercised by the closure.
 
-The proof is baked into the generated header (kProofCoveredRowMask,
-kProofStateMask, kProvedProperties) and written as a machine-readable
-artifact to src/mem/protocol_proof.json; tests/protocol_spec_test.cc
-cross-checks the proof's closure against the C++ bounded explorer's.
+Specs with `uses_freezing: false` are closed over the unfrozen half of the
+abstract space only (no fault may freeze, no initial frozen seed): that a
+lease protocol never reaches a frozen state is part of what gets proved.
+
+Each proof is baked into the generated header (per-protocol
+kProofCoveredRowMask, kProofStateMask, kProvedProperties) and written as a
+machine-readable artifact next to its spec (protocol_proof.json /
+protocol_proof_tardis.json); tests/protocol_spec_test.cc cross-checks the
+proofs' closures against the C++ bounded explorer's.
 
 Usage:
   gen_protocol_spec.py [--root DIR]            # (re)write protocol_spec.gen.h
-  gen_protocol_spec.py [--root DIR] --verify   # ... and protocol_proof.json
+  gen_protocol_spec.py [--root DIR] --verify   # ... and protocol_proof*.json
   gen_protocol_spec.py [--root DIR] --check [--verify]
-                                               # fail if header/proof stale
+                                               # fail if header/proofs stale
   gen_protocol_spec.py --selftest              # verifier catches mutated specs
 
 Exit status: 0 ok, 1 stale output, invalid spec, or failed proof.
@@ -65,9 +74,16 @@ from collections import deque
 
 DEFAULT_ROOT = os.path.normpath(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
-SPEC_REL = "src/mem/protocol_spec.json"
 HEADER_REL = "src/mem/protocol_spec.gen.h"
-PROOF_REL = "src/mem/protocol_proof.json"
+
+# One entry per committed protocol, in mem::ProtocolKind order; the generated
+# spec_gen::kSpecs registry is indexed the same way.
+SPECS = (
+    {"spec": "src/mem/protocol_spec.json",
+     "proof": "src/mem/protocol_proof.json"},
+    {"spec": "src/mem/protocol_spec_tardis.json",
+     "proof": "src/mem/protocol_proof_tardis.json"},
+)
 
 PROCESSOR_COUNTS = (2, 3)
 
@@ -80,8 +96,8 @@ def fail(msg: str) -> None:
     raise SpecError(msg)
 
 
-def load_spec(root: str) -> dict:
-    path = os.path.join(root, SPEC_REL)
+def load_spec(root: str, spec_rel: str) -> dict:
+    path = os.path.join(root, spec_rel)
     with open(path, encoding="utf-8") as f:
         return json.load(f)
 
@@ -90,6 +106,11 @@ def validate(spec: dict, root: str | None) -> None:
     states = spec["states"]
     triggers = spec["triggers"]
     micro_events = spec["micro_events"]
+    protocol = spec.get("protocol")
+    if not isinstance(protocol, str) or not protocol.isidentifier():
+        fail("spec has no usable 'protocol' name (must be an identifier)")
+    if not isinstance(spec.get("uses_freezing"), bool):
+        fail("spec has no boolean 'uses_freezing' field")
     if len(set(states)) != len(states):
         fail("duplicate states")
     if len(set(triggers)) != len(triggers):
@@ -307,9 +328,14 @@ def _close(spec: dict, sem: dict, num_procs: int):
         return tuple(rights)
 
     # Placement advice can freeze a page before its first touch, so both
-    # frozen flavors of the untouched state seed the frontier.
-    initial = [(spec["states"][0], 0, (RIGHT_NONE,) * num_procs),
-               (spec["states"][0], 1, (RIGHT_NONE,) * num_procs)]
+    # frozen flavors of the untouched state seed the frontier — but only for
+    # protocols that freeze at all. For uses_freezing=false specs the frozen
+    # half of the space must stay unreachable, and seeding it would fake
+    # reachability the implementation cannot produce.
+    uses_freezing = spec["uses_freezing"]
+    initial = [(spec["states"][0], 0, (RIGHT_NONE,) * num_procs)]
+    if uses_freezing:
+        initial.append((spec["states"][0], 1, (RIGHT_NONE,) * num_procs))
     parents = {s: None for s in initial}
     frontier = deque(initial)
     covered: set[int] = set()
@@ -368,10 +394,12 @@ def _close(spec: dict, sem: dict, num_procs: int):
                                 f"{row['from']} -> {row['to']} via "
                                 f"[{' '.join(chain) or 'self'}]")
                         # A frozen page stays frozen until thawed; an
-                        # unfrozen fault may freeze iff the policy declined
-                        # to re-place the page (no replicate/migrate step).
+                        # unfrozen fault may freeze iff the protocol freezes
+                        # at all and the policy declined to re-place the page
+                        # (no replicate/migrate step).
                         for nf in ((1,) if frozen
-                                   else ((0, 1) if frozen_ok else (0,))):
+                                   else ((0, 1) if frozen_ok and uses_freezing
+                                         else (0,))):
                             visit((row["to"], nf, nr), astate, desc)
                 if not serviced:
                     fail(f"no-stuck-state violated for {num_procs} "
@@ -415,7 +443,7 @@ def _close(spec: dict, sem: dict, num_procs: int):
     return len(parents), transitions, covered, state_mask
 
 
-def verify(spec: dict) -> dict:
+def verify(spec: dict, spec_rel: str) -> dict:
     """Proves the spec safe; returns the machine-readable proof."""
     sem = _semantics(spec)
     _verify_static(spec, sem)
@@ -446,7 +474,8 @@ def verify(spec: dict) -> dict:
     return {
         "schema": "platinum-protocol-proof-v1",
         "generator": "tools/gen_protocol_spec.py --verify",
-        "spec": SPEC_REL,
+        "protocol": spec["protocol"],
+        "spec": spec_rel,
         "spec_sha256": hashlib.sha256(
             json.dumps(spec, sort_keys=True).encode("utf-8")).hexdigest(),
         "processor_counts": list(PROCESSOR_COUNTS),
@@ -466,14 +495,23 @@ def proof_text(proof: dict) -> str:
     return json.dumps(proof, indent=2, sort_keys=True) + "\n"
 
 
-def emit(spec: dict, proof: dict) -> str:
-    states = spec["states"]
-    triggers = spec["triggers"]
+def emit(entries: list[tuple[dict, dict]]) -> str:
+    """Renders the combined header for [(spec, proof), ...] in kind order."""
+    base_spec = entries[0][0]
+    states = base_spec["states"]
+    triggers = base_spec["triggers"]
+    for spec, _proof in entries[1:]:
+        # Trigger/state indices are shared across protocols (mem::CpageState,
+        # kTriggerNames); a spec with its own alphabet cannot share them.
+        if spec["states"] != states or spec["triggers"] != triggers:
+            fail(f"spec '{spec['protocol']}' declares different states or "
+                 f"triggers than '{base_spec['protocol']}'; all specs must "
+                 f"share one alphabet")
     s_idx = {s: i for i, s in enumerate(states)}
     t_idx = {t: i for i, t in enumerate(triggers)}
     lines = []
     lines.append("// Generated by tools/gen_protocol_spec.py from "
-                 "src/mem/protocol_spec.json.")
+                 "src/mem/protocol_spec*.json.")
     lines.append("// DO NOT EDIT; regenerate with `python3 "
                  "tools/gen_protocol_spec.py` (the")
     lines.append("// protocol_spec_sync ctest fails when this file is stale).")
@@ -490,7 +528,7 @@ def emit(spec: dict, proof: dict) -> str:
     names = ", ".join(f'"{t}"' for t in triggers)
     lines.append(f"inline constexpr const char* kTriggerNames[] = {{{names}}};")
     lines.append("")
-    lines.append("// One row per composed (trigger, from, to) transition the "
+    lines.append("// One row per composed (trigger, from, to) transition a "
                  "protocol allows.")
     lines.append("// State indices follow mem::CpageState; trigger indices "
                  "follow kTriggerNames.")
@@ -499,45 +537,78 @@ def emit(spec: dict, proof: dict) -> str:
     lines.append("  uint8_t from;")
     lines.append("  uint8_t to;")
     lines.append("};")
+
+    for spec, proof in entries:
+        name = spec["protocol"]
+        lines.append("")
+        lines.append(f"namespace {name} {{")
+        lines.append("")
+        lines.append("inline constexpr EdgeRow kEdges[] = {")
+        for row in spec["event_transitions"]:
+            t = t_idx[row["trigger"]]
+            f = s_idx[row["from"]]
+            to = s_idx[row["to"]]
+            via = " ".join(row["via"]) if row["via"] else "(self)"
+            lines.append(f"    {{{t}, {f}, {to}}},  // {row['trigger']}: "
+                         f"{row['from']} -> {row['to']} via {via}")
+        lines.append("};")
+        lines.append("")
+        mask = 0
+        for row in spec["event_transitions"]:
+            mask |= 1 << s_idx[row["from"]]
+            mask |= 1 << s_idx[row["to"]]
+        lines.append("// Bit i set iff state i appears in some allowed "
+                     "transition.")
+        lines.append("inline constexpr uint32_t kReachableStateMask = "
+                     f"0x{mask:x};")
+        lines.append("")
+        lines.append("// ---- Spec-level proof (tools/gen_protocol_spec.py "
+                     "--verify) ----")
+        lines.append("// Properties proved by the symbolic closure over "
+                     "(state, frozen, per-")
+        counts = " and ".join(str(p) for p in proof["processor_counts"])
+        lines.append(f"// processor rights) for {counts} processors; "
+                     f"{proof['spec'].replace('_spec', '_proof')} is the")
+        lines.append("// machine-readable artifact, "
+                     "tests/protocol_spec_test.cc the cross-check")
+        lines.append("// against the bounded explorer's concrete closure.")
+        props = ", ".join(f'"{p}"' for p in proof["properties"])
+        lines.append("inline constexpr const char* kProvedProperties[] = "
+                     f"{{{props}}};")
+        lines.append("// Bit i set iff kEdges[i] is exercised by the symbolic "
+                     "closure.")
+        lines.append("inline constexpr uint32_t kProofCoveredRowMask = "
+                     f"0x{proof['covered_row_mask']:x};")
+        lines.append("// Bit i set iff state i appears in some reachable "
+                     "abstract state.")
+        lines.append("inline constexpr uint32_t kProofStateMask = "
+                     f"0x{proof['state_mask']:x};")
+        lines.append("")
+        lines.append(f"}}  // namespace {name}")
+
     lines.append("")
-    lines.append("inline constexpr EdgeRow kEdges[] = {")
-    for row in spec["event_transitions"]:
-        t = t_idx[row["trigger"]]
-        f = s_idx[row["from"]]
-        to = s_idx[row["to"]]
-        via = " ".join(row["via"]) if row["via"] else "(self)"
-        lines.append(f"    {{{t}, {f}, {to}}},  // {row['trigger']}: "
-                     f"{row['from']} -> {row['to']} via {via}")
+    lines.append("// Registry indexed by mem::ProtocolKind; "
+                 "mem::ProtocolKindFromName walks the")
+    lines.append("// names, the typed accessors in protocol_spec.cc walk the "
+                 "tables.")
+    lines.append("struct SpecView {")
+    lines.append("  const char* name;")
+    lines.append("  const EdgeRow* edges;")
+    lines.append("  int num_edges;")
+    lines.append("  uint32_t reachable_state_mask;")
+    lines.append("  uint32_t proof_covered_row_mask;")
+    lines.append("  uint32_t proof_state_mask;")
     lines.append("};")
     lines.append("")
-    mask = 0
-    for row in spec["event_transitions"]:
-        mask |= 1 << s_idx[row["from"]]
-        mask |= 1 << s_idx[row["to"]]
-    lines.append("// Bit i set iff state i appears in some allowed transition.")
-    lines.append(f"inline constexpr uint32_t kReachableStateMask = 0x{mask:x};")
-    lines.append("")
-    lines.append("// ---- Spec-level proof (tools/gen_protocol_spec.py "
-                 "--verify) ----")
-    lines.append("// Properties proved by the symbolic closure over (state, "
-                 "frozen, per-")
-    counts = " and ".join(str(p) for p in proof["processor_counts"])
-    lines.append(f"// processor rights) for {counts} processors; "
-                 "src/mem/protocol_proof.json is the")
-    lines.append("// machine-readable artifact, tests/protocol_spec_test.cc "
-                 "the cross-check")
-    lines.append("// against the bounded explorer's concrete closure.")
-    props = ", ".join(f'"{p}"' for p in proof["properties"])
-    lines.append("inline constexpr const char* kProvedProperties[] = "
-                 f"{{{props}}};")
-    lines.append("// Bit i set iff kEdges[i] is exercised by the symbolic "
-                 "closure.")
-    lines.append("inline constexpr uint32_t kProofCoveredRowMask = "
-                 f"0x{proof['covered_row_mask']:x};")
-    lines.append("// Bit i set iff state i appears in some reachable "
-                 "abstract state.")
-    lines.append("inline constexpr uint32_t kProofStateMask = "
-                 f"0x{proof['state_mask']:x};")
+    lines.append("inline constexpr SpecView kSpecs[] = {")
+    for spec, _proof in entries:
+        name = spec["protocol"]
+        lines.append(f"    {{\"{name}\", {name}::kEdges, "
+                     f"{len(spec['event_transitions'])}, "
+                     f"{name}::kReachableStateMask, "
+                     f"{name}::kProofCoveredRowMask, "
+                     f"{name}::kProofStateMask}},")
+    lines.append("};")
     lines.append("")
     lines.append("}  // namespace platinum::mem::spec_gen")
     lines.append("")
@@ -580,10 +651,18 @@ def _mutate_write_stuck_on_modified(spec: dict) -> None:
 
 
 def selftest(root: str) -> int:
-    spec = load_spec(root)
-    validate(spec, root)
-    verify(spec)
-    print("gen_protocol_spec selftest: committed spec verifies clean")
+    # Every committed spec must verify clean before any mutation testing.
+    for entry in SPECS:
+        committed = load_spec(root, entry["spec"])
+        validate(committed, root)
+        verify(committed, entry["spec"])
+        print(f"gen_protocol_spec selftest: {entry['spec']} "
+              f"({committed['protocol']}) verifies clean")
+
+    # The mutations forge the *directory* spec; the tardis spec's clean
+    # verification above is its own regression check (its unfrozen-only
+    # closure must not skip any property).
+    spec = load_spec(root, SPECS[0]["spec"])
 
     mutations = [
         ("second-writable-copy", _mutate_second_writable_copy,
@@ -604,7 +683,7 @@ def selftest(root: str) -> int:
                   f"be caught by the verifier", file=sys.stderr)
             return 1
         try:
-            verify(mutant)
+            verify(mutant, SPECS[0]["spec"])
         except SpecError as e:
             if want not in str(e):
                 print(f"gen_protocol_spec selftest FAIL: mutation '{name}' "
@@ -637,22 +716,24 @@ def main(argv=None) -> int:
     try:
         if args.selftest:
             return selftest(args.root)
-        spec = load_spec(args.root)
-        validate(spec, args.root)
-        proof = verify(spec)
+        entries = []
+        for entry in SPECS:
+            spec = load_spec(args.root, entry["spec"])
+            validate(spec, args.root)
+            entries.append((spec, verify(spec, entry["spec"])))
+        text = emit(entries)
     except SpecError as e:
         print(f"gen_protocol_spec: {e}", file=sys.stderr)
         return 1
 
-    text = emit(spec, proof)
     header = os.path.join(args.root, HEADER_REL)
-    proof_path = os.path.join(args.root, PROOF_REL)
     if args.verify:
-        closures = ", ".join(
-            f"{p}p: {c['abstract_states']} states / {c['transitions']} "
-            f"transitions" for p, c in sorted(proof["closures"].items()))
-        print(f"gen_protocol_spec: proved {', '.join(proof['properties'])} "
-              f"({closures})")
+        for spec, proof in entries:
+            closures = ", ".join(
+                f"{p}p: {c['abstract_states']} states / {c['transitions']} "
+                f"transitions" for p, c in sorted(proof["closures"].items()))
+            print(f"gen_protocol_spec: [{spec['protocol']}] proved "
+                  f"{', '.join(proof['properties'])} ({closures})")
     if args.check:
         stale = []
         try:
@@ -663,31 +744,38 @@ def main(argv=None) -> int:
         if current != text:
             stale.append(HEADER_REL)
         if args.verify:
-            try:
-                with open(proof_path, encoding="utf-8") as f:
-                    current_proof = f.read()
-            except FileNotFoundError:
-                current_proof = ""
-            if current_proof != proof_text(proof):
-                stale.append(PROOF_REL)
+            for entry, (_spec, proof) in zip(SPECS, entries):
+                proof_path = os.path.join(args.root, entry["proof"])
+                try:
+                    with open(proof_path, encoding="utf-8") as f:
+                        current_proof = f.read()
+                except FileNotFoundError:
+                    current_proof = ""
+                if current_proof != proof_text(proof):
+                    stale.append(entry["proof"])
         if stale:
             print(f"gen_protocol_spec: {', '.join(stale)} stale; regenerate "
                   "with `python3 tools/gen_protocol_spec.py --verify`",
                   file=sys.stderr)
             return 1
-        checked = [HEADER_REL] + ([PROOF_REL] if args.verify else [])
-        print(f"gen_protocol_spec: {', '.join(checked)} in sync with "
-              f"{SPEC_REL}")
+        checked = [HEADER_REL] + ([e["proof"] for e in SPECS]
+                                  if args.verify else [])
+        specs = ", ".join(e["spec"] for e in SPECS)
+        print(f"gen_protocol_spec: {', '.join(checked)} in sync with {specs}")
         return 0
     with open(header, "w", encoding="utf-8") as f:
         f.write(text)
-    print(f"gen_protocol_spec: wrote {HEADER_REL} "
-          f"({len(spec['event_transitions'])} event rows, "
-          f"{len(spec['micro_transitions'])} micro rows)")
+    rows = ", ".join(
+        f"{spec['protocol']}: {len(spec['event_transitions'])} event / "
+        f"{len(spec['micro_transitions'])} micro rows"
+        for spec, _proof in entries)
+    print(f"gen_protocol_spec: wrote {HEADER_REL} ({rows})")
     if args.verify:
-        with open(proof_path, "w", encoding="utf-8") as f:
-            f.write(proof_text(proof))
-        print(f"gen_protocol_spec: wrote {PROOF_REL}")
+        for entry, (_spec, proof) in zip(SPECS, entries):
+            proof_path = os.path.join(args.root, entry["proof"])
+            with open(proof_path, "w", encoding="utf-8") as f:
+                f.write(proof_text(proof))
+            print(f"gen_protocol_spec: wrote {entry['proof']}")
     return 0
 
 

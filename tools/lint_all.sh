@@ -6,8 +6,9 @@
 #   * platlint, full rule set over src/ + bench/ (both frontends when a
 #     clang toolchain is available, plus the frontend-parity diff);
 #   * the platlint fixture selftest (every rule demonstrably fires);
-#   * gen_protocol_spec.py --check --verify (committed header + proof
-#     artifact in sync, spec-level safety proof holds);
+#   * gen_protocol_spec.py --check --verify (every committed protocol spec:
+#     generated header + proof artifacts in sync, spec-level safety proofs
+#     hold for directory and tardis alike);
 #   * gen_protocol_spec.py --selftest (the verifier rejects forged specs);
 #   * clang-tidy over src/ with the committed .clang-tidy.
 #

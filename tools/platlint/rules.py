@@ -392,24 +392,31 @@ class YieldUnderLockRule(Rule):
 
 class ProtocolConformanceRule(Rule):
     """Diffs every Cpage state-mutation site against the machine-readable
-    protocol spec (src/mem/protocol_spec.json, the table docs/PROTOCOL.md is
-    rendered from):
+    protocol specs (src/mem/protocol_spec*.json — one per committed
+    coherence protocol; docs/PROTOCOL.md renders their tables):
 
       * each `SetState(CpageState::k...)` call in src/mem must carry a
         `// protocol: <event> <from>[|<from>] -> <to>` annotation whose rows
-        all exist in the spec's micro-transition table, and whose to-state
-        matches the literal the code sets;
-      * every spec micro row must be claimed by some annotated site (a row no
-        site implements is stale spec);
-      * Cpage mutators called outside the spec's `mutation_files` funnel are
-        reported wherever they appear in src/ — protocol state changes only
-        happen where the spec says they do."""
+        all exist in the micro-transition table of some spec claiming the
+        file (via its `mutation_files`), and whose to-state matches the
+        literal the code sets — a shared file like advice.cc is validated
+        against the union of the specs that claim it, a protocol-private
+        file like tardis_protocol.cc only against its own spec;
+      * every micro row of every spec must be claimed by some annotated site
+        in a file that spec sanctions (a row no site implements is stale
+        spec, per protocol);
+      * Cpage mutators outside the union of the specs' `mutation_files`
+        funnels are reported wherever they appear in src/ — protocol state
+        changes only happen where some spec says they do."""
 
     name = "protocol-conformance"
     description = ("Cpage state mutations funnel through src/mem and match "
-                   "protocol_spec.json.")
+                   "the protocol_spec*.json spec of the protocol that owns "
+                   "the file.")
 
-    SPEC_PATH = "src/mem/protocol_spec.json"
+    SPEC_PATHS = ("src/mem/protocol_spec.json",
+                  "src/mem/protocol_spec_tardis.json")
+    SPEC_PATH = SPEC_PATHS[0]  # primary spec; anchors repo-level findings
     STATE_OF_LITERAL = {"kEmpty": "empty", "kPresent1": "present1",
                         "kPresentPlus": "present+", "kModified": "modified"}
 
@@ -422,14 +429,23 @@ class ProtocolConformanceRule(Rule):
         r"AddWriteMapping|DropWriteMapping|ClearWriteMappings|"
         r"RecordInvalidation)\s*\(")
 
-    def _load_spec(self, model: RepoModel):
+    def _load_specs(self, model: RepoModel):
+        """[(repo-relative path, parsed spec)] for every committed spec.
+        Returns None when the primary spec is missing (broken checkout);
+        secondary specs are optional so the fixture trees, which carry only
+        the primary spec, keep exercising the rule."""
         if model.root is None:
             return None
-        path = os.path.join(model.root, self.SPEC_PATH)
-        if not os.path.exists(path):
-            return None
-        with open(path, encoding="utf-8") as f:
-            return json.load(f)
+        specs = []
+        for rel in self.SPEC_PATHS:
+            path = os.path.join(model.root, rel)
+            if not os.path.exists(path):
+                if rel == self.SPEC_PATH:
+                    return None
+                continue
+            with open(path, encoding="utf-8") as f:
+                specs.append((rel, json.load(f)))
+        return specs
 
     def collect_sites(self, model: RepoModel) -> set[tuple[str, int]]:
         """(path, line) of every SetState call site in src/mem (declarations
@@ -449,18 +465,35 @@ class ProtocolConformanceRule(Rule):
 
     def run(self, model: RepoModel) -> list[Finding]:
         out = []
-        spec = self._load_spec(model)
-        if spec is None:
+        specs = self._load_specs(model)
+        if specs is None:
             out.append(Finding(self.name, self.SPEC_PATH, 1,
                                "protocol spec not found (src/mem/protocol_spec.json)"))
             return out
-        micro = {(r["from"], r["event"], r["to"]) for r in spec["micro_transitions"]}
-        events = set(spec["micro_events"])
-        mutation_files = set(spec["mutation_files"])
-        covered = set()
+        # Per spec: its micro-row table, event set, and sanctioned files.
+        tables = [{"rel": rel,
+                   "micro": {(r["from"], r["event"], r["to"])
+                             for r in spec["micro_transitions"]},
+                   "events": set(spec["micro_events"]),
+                   "files": set(spec["mutation_files"]),
+                   "covered": set()}
+                  for rel, spec in specs]
+        funnel = set().union(*(t["files"] for t in tables))
+
+        def tables_for(path):
+            """The specs a SetState site in `path` is validated against: the
+            ones that sanction the file, or all of them when none does (the
+            funnel check below reports the real problem for such a site)."""
+            claiming = [t for t in tables if path in t["files"]]
+            return claiming if claiming else tables
+
         for path, sf in sorted(model.files.items()):
             if not path.startswith("src/mem/"):
                 continue
+            applicable = tables_for(path)
+            events = set().union(*(t["events"] for t in applicable))
+            micro = set().union(*(t["micro"] for t in applicable))
+            spec_names = " | ".join(t["rel"] for t in applicable)
             for m in self._SET_STATE_RE.finditer(sf.code):
                 popen = sf.code.index("(", m.start())
                 close = _match_paren(sf.code, popen)
@@ -487,14 +520,14 @@ class ProtocolConformanceRule(Rule):
                         self.name, path, line,
                         "SetState site without a `// protocol: <event> <from> -> "
                         "<to>` annotation (diffed against src/mem/protocol_spec"
-                        ".json)", snippet))
+                        "*.json)", snippet))
                     continue
                 event, froms, to = ann.group(1), ann.group(2).split("|"), ann.group(3)
                 if event not in events:
                     out.append(Finding(
                         self.name, path, line,
                         f"protocol annotation names unknown micro event '{event}' "
-                        "(see micro_events in src/mem/protocol_spec.json)", snippet))
+                        f"(see micro_events in {spec_names})", snippet))
                     continue
                 if to != to_state:
                     out.append(Finding(
@@ -508,25 +541,30 @@ class ProtocolConformanceRule(Rule):
                     out.append(Finding(
                         self.name, path, line,
                         f"transition {'|'.join(bad)} -[{event}]-> {to} has no "
-                        "micro row in src/mem/protocol_spec.json", snippet))
+                        f"micro row in {spec_names}", snippet))
                     continue
-                covered.update((f, event, to) for f in froms)
-        for row in sorted(micro - covered):
-            out.append(Finding(
-                self.name, self.SPEC_PATH, 1,
-                f"spec micro transition {row[0]} -[{row[1]}]-> {row[2]} is not "
-                "claimed by any annotated SetState site in src/mem (stale spec "
-                "row, or a lost annotation)"))
-        # The funnel: Cpage mutators outside the spec's sanctioned files.
+                for t in applicable:
+                    t["covered"].update((f, event, to) for f in froms
+                                        if (f, event, to) in t["micro"])
+        # Stale rows, per protocol: a row of spec S counts as claimed only by
+        # annotated sites in files S itself sanctions.
+        for t in tables:
+            for row in sorted(t["micro"] - t["covered"]):
+                out.append(Finding(
+                    self.name, t["rel"], 1,
+                    f"spec micro transition {row[0]} -[{row[1]}]-> {row[2]} is "
+                    "not claimed by any annotated SetState site in src/mem "
+                    "(stale spec row, or a lost annotation)"))
+        # The funnel: Cpage mutators outside every spec's sanctioned files.
         for path, sf in sorted(model.files.items()):
-            if not path.startswith("src/") or path in mutation_files:
+            if not path.startswith("src/") or path in funnel:
                 continue
             for m in self._MUTATOR_CALL_RE.finditer(sf.code):
                 line = sf.line_of(m.start())
                 out.append(Finding(
                     self.name, path, line,
                     f"Cpage mutator {m.group(1)}() called outside the sanctioned "
-                    "mem funnel (mutation_files in src/mem/protocol_spec.json)",
+                    "mem funnel (mutation_files in src/mem/protocol_spec*.json)",
                     sf.raw_lines[line - 1].strip()))
         return out
 
