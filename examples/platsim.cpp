@@ -10,7 +10,13 @@
 //   $ ./build/examples/platsim gauss --check-races --check-invariants
 //   $ ./build/examples/platsim explore --procs=2 --pages=1
 //
-// Workloads: gauss | sort | neural | pattern | racy | explore
+//   $ ./build/examples/platsim trie --procs=32 --ops=2000000 --zipf-s=0.99
+//         --churn=0.5 --stats-json=stats.json
+//
+// Workloads: gauss | sort | neural | pattern | trie | racy | explore
+//   trie     serving workload: Zipf lookups + owner-sharded insert/erase
+//            churn on a shared radix trie (docs/WORKLOADS.md); per-request
+//            latency lands under "serving" in --stats-json
 //   racy     deliberately unsynchronized writers (the race-detector demo;
 //            with --check-races it exits 1)
 //   explore  bounded model checking of the protocol (docs/CHECKING.md)
@@ -20,6 +26,9 @@
 //            --lease-policy=fixed|doubling  tardis lease-duration policy
 //            --t1-ms=N --no-defrost --adaptive-defrost --kind=PATTERN
 //            --think-us=N --report --trace
+//            --ops=N --keys=N --seed=N      trie request volume / key universe
+//            --zipf-s=S --read-fraction=F --churn=F --preload=F  trie mix
+//            --arrival=closed|open --interarrival-us=N --advise  trie arrivals
 //            --trace-json=FILE   Chrome/Perfetto trace-event JSON
 //            --stats-json=FILE   counters + histograms + report as JSON
 //            --page-report=FILE  per-page forensics JSON (docs/OBSERVABILITY.md)
@@ -47,6 +56,7 @@
 #include "src/check/race_detector.h"
 #include "src/kernel/kernel.h"
 #include "src/kernel/report.h"
+#include "src/load/driver.h"
 #include "src/mem/policy.h"
 #include "src/mem/protocol_spec.h"
 #include "src/obs/export.h"
@@ -92,6 +102,17 @@ struct Options {
   bool check_invariants = false;
   int pages = 1;
   int depth = 32;
+  // Serving (trie) workload.
+  uint64_t ops = 1ull << 20;
+  uint32_t keys = 1u << 14;
+  uint64_t seed = 1;
+  double zipf_s = 0.99;
+  double read_fraction = 0.90;
+  double churn = 0.5;
+  double preload = 0.5;
+  std::string arrival = "closed";
+  int interarrival_us = 20;
+  bool advise = false;
 };
 
 bool StartsWith(const char* arg, const char* prefix, const char** value) {
@@ -166,6 +187,26 @@ Options Parse(int argc, char** argv) {
       options.pages = std::atoi(value);
     } else if (StartsWith(argv[i], "--depth=", &value)) {
       options.depth = std::atoi(value);
+    } else if (StartsWith(argv[i], "--ops=", &value)) {
+      options.ops = static_cast<uint64_t>(std::atoll(value));
+    } else if (StartsWith(argv[i], "--keys=", &value)) {
+      options.keys = static_cast<uint32_t>(std::atoll(value));
+    } else if (StartsWith(argv[i], "--seed=", &value)) {
+      options.seed = static_cast<uint64_t>(std::atoll(value));
+    } else if (StartsWith(argv[i], "--zipf-s=", &value)) {
+      options.zipf_s = std::atof(value);
+    } else if (StartsWith(argv[i], "--read-fraction=", &value)) {
+      options.read_fraction = std::atof(value);
+    } else if (StartsWith(argv[i], "--churn=", &value)) {
+      options.churn = std::atof(value);
+    } else if (StartsWith(argv[i], "--preload=", &value)) {
+      options.preload = std::atof(value);
+    } else if (StartsWith(argv[i], "--arrival=", &value)) {
+      options.arrival = value;
+    } else if (StartsWith(argv[i], "--interarrival-us=", &value)) {
+      options.interarrival_us = std::atoi(value);
+    } else if (std::strcmp(argv[i], "--advise") == 0) {
+      options.advise = true;
     }
   }
   return options;
@@ -226,7 +267,9 @@ int main(int argc, char** argv) {
     return 0;  // an invariant violation would have aborted
   }
 
-  sim::MachineParams params = sim::ButterflyPlusParams(16);
+  // The machine grows with --procs (64-node serving runs) but never shrinks
+  // below the historical 16 nodes, so existing configurations are unchanged.
+  sim::MachineParams params = sim::ButterflyPlusParams(std::max(16, options.procs));
   params.page_size_bytes = options.page_bytes;
   params.frames_per_module = (4u << 20) / options.page_bytes;
   params.adaptive_defrost = options.adaptive;
@@ -280,6 +323,9 @@ int main(int argc, char** argv) {
               options.workload.c_str(), options.procs, options.policy.c_str(),
               options.protocol.c_str(), options.page_bytes);
 
+  // Rendered by the trie workload; embedded under "serving" in --stats-json.
+  std::string serving_json;
+
   if (options.workload == "gauss") {
     apps::GaussConfig config;
     config.n = options.n;
@@ -316,6 +362,38 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(result.migrations),
         static_cast<unsigned long long>(result.remote_maps),
         static_cast<unsigned long long>(result.freezes));
+  } else if (options.workload == "trie") {
+    load::DriverConfig config;
+    config.spec.seed = options.seed;
+    config.spec.keys = options.keys;
+    config.spec.ops = options.ops;
+    config.spec.zipf_s = options.zipf_s;
+    config.spec.read_fraction = options.read_fraction;
+    config.spec.churn = options.churn;
+    config.spec.preload_fraction = options.preload;
+    config.procs = options.procs;
+    if (options.arrival == "open") {
+      config.arrival = load::ArrivalMode::kOpen;
+    } else if (options.arrival != "closed") {
+      std::fprintf(stderr, "unknown arrival mode '%s' (closed|open)\n",
+                   options.arrival.c_str());
+      return 1;
+    }
+    config.interarrival_ns =
+        static_cast<sim::SimTime>(options.interarrival_us) * sim::kMicrosecond;
+    config.advise = options.advise;
+    load::ServeResult result = RunTrieServe(kernel, config);
+    serving_json = ServingStatsJson(config, result);
+    const obs::LatencyHistogram& hit = result.latency[load::kOpReadHit];
+    std::printf("serving: %llu requests in %.3f sim-s (%llu entries, %s); "
+                "read-hit p50 %.1f us p99 %.1f us, %llu lookup retries\n",
+                static_cast<unsigned long long>(result.requests),
+                sim::ToSeconds(result.serve_ns),
+                static_cast<unsigned long long>(result.entries),
+                result.verified ? "verified" : "unverified",
+                static_cast<double>(hit.Percentile(50)) / 1000.0,
+                static_cast<double>(hit.Percentile(99)) / 1000.0,
+                static_cast<unsigned long long>(result.trie.lookup_retries));
   } else if (options.workload == "racy") {
     // Deliberately racy: unsynchronized read-modify-write of one shared word
     // by every thread — the seeded workload the race detector must flag.
@@ -334,7 +412,8 @@ int main(int argc, char** argv) {
     std::printf("racy: final value %u after %d unsynchronized writers\n", final_value,
                 workers);
   } else {
-    std::fprintf(stderr, "unknown workload '%s' (gauss|sort|neural|pattern|racy|explore)\n",
+    std::fprintf(stderr,
+                 "unknown workload '%s' (gauss|sort|neural|pattern|trie|racy|explore)\n",
                  options.workload.c_str());
     return 1;
   }
@@ -385,7 +464,8 @@ int main(int argc, char** argv) {
   }
   if (!options.stats_json.empty()) {
     kernel::MemoryReport mem_report = BuildMemoryReport(kernel);
-    obs::TelemetrySummary telemetry{page_trace.get(), sampler.get()};
+    obs::TelemetrySummary telemetry{page_trace.get(), sampler.get(),
+                                    serving_json.empty() ? nullptr : &serving_json};
     std::string doc = obs::ExportStatsJson(machine, &mem_report, &telemetry);
     obs::WriteFileOrDie(options.stats_json, doc);
     std::printf("wrote %s (%zu bytes)\n", options.stats_json.c_str(), doc.size());

@@ -1,0 +1,80 @@
+// The serving driver: replays a RequestScript against a SharedTrie on the
+// simulated machine and reports per-request latency distributions.
+//
+// One simulated thread per processor issues its pre-generated request stream
+// either closed-loop (next request the instant the previous completes) or
+// open-loop (requests arrive on a fixed schedule; a late server accrues
+// queueing delay, which the recorded latency includes — the standard
+// coordinated-omission-free measurement). Latencies are simulated time from
+// arrival to completion, recorded per operation class into host-side
+// obs::LatencyHistograms; recording costs nothing in simulated time.
+//
+// After the run the driver walks the trie once (simulated reads, single
+// thread) and checks contents against RequestScript::ReplayReference — a
+// full end-to-end correctness gate on every serving run, cheap enough to
+// leave on by default.
+#ifndef SRC_LOAD_DRIVER_H_
+#define SRC_LOAD_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/apps/trie.h"
+#include "src/kernel/kernel.h"
+#include "src/load/request_gen.h"
+#include "src/obs/histogram.h"
+#include "src/sim/time.h"
+
+namespace platinum::load {
+
+enum class ArrivalMode { kClosed, kOpen };
+
+struct DriverConfig {
+  WorkloadSpec spec;
+  int procs = 16;
+  ArrivalMode arrival = ArrivalMode::kClosed;
+  // Open-loop arrival period per worker.
+  sim::SimTime interarrival_ns = 20 * sim::kMicrosecond;
+  // Pass replication advice on the trie's node pools (SharedTrie::Options).
+  bool advise = false;
+  // Check final contents against the reference replay (aborts on mismatch).
+  bool verify = true;
+};
+
+// Operation classes with separate latency distributions. Reads split by
+// outcome — a miss is a shorter walk, and mixing the two hides the hot-leaf
+// retry tail the workload exists to expose.
+enum OpClass : int { kOpReadHit = 0, kOpReadMiss, kOpInsert, kOpErase, kNumOpClasses };
+const char* OpClassName(int op_class);
+
+struct ServeResult {
+  uint64_t requests = 0;
+  uint64_t preloaded = 0;
+  sim::SimTime serve_ns = 0;  // simulated duration of the request phase
+  uint64_t checksum = 0;      // trie contents after the run, visit order
+  uint64_t entries = 0;
+  bool verified = false;
+  obs::LatencyHistogram latency[kNumOpClasses];
+  apps::SharedTrie::HostStats trie;
+  // Node-pool geometry, for attributing page-level telemetry (obs::PageTrace)
+  // to interior vs. leaf pages after the run.
+  uint32_t as_id = 0;
+  uint32_t interior_base_va = 0;
+  uint32_t interior_words = 0;
+  uint32_t leaf_base_va = 0;
+  uint32_t leaf_words = 0;
+  // Synchronization-word VAs (trie locks/allocator state, driver barrier):
+  // dedicated pages that legitimately ping-pong.
+  std::vector<uint32_t> sync_vas;
+};
+
+ServeResult RunTrieServe(kernel::Kernel& kernel, const DriverConfig& config);
+
+// Renders the "platinum-serving-v1" stats block: config echo, totals,
+// per-class count/mean/p50/p90/p99/min/max (µs), trie counters. Embedded
+// under "serving" in platsim's stats JSON via obs::TelemetrySummary.
+std::string ServingStatsJson(const DriverConfig& config, const ServeResult& result);
+
+}  // namespace platinum::load
+
+#endif  // SRC_LOAD_DRIVER_H_

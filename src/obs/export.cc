@@ -334,6 +334,9 @@ std::string ExportStatsJson(const sim::Machine& machine, const kernel::MemoryRep
     }
     w.EndObject();
   }
+  if (telemetry != nullptr && telemetry->serving_json != nullptr) {
+    w.Key("serving").Raw(*telemetry->serving_json);
+  }
 
   if (report != nullptr) {
     w.Key("report").BeginObject();

@@ -29,6 +29,9 @@ class PageTrace;
 struct TelemetrySummary {
   const PageTrace* page_trace = nullptr;
   const EpochSampler* sampler = nullptr;
+  // A pre-rendered "platinum-serving-v1" block (src/load/driver.h), embedded
+  // verbatim under "serving" when the run was a serving workload.
+  const std::string* serving_json = nullptr;
 };
 
 // `trace` may be null (spans and phases alone still make a useful trace).

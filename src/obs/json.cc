@@ -138,6 +138,13 @@ JsonWriter& JsonWriter::Null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::Raw(const std::string& json) {
+  Separate();
+  out_ += json;
+  need_comma_ = true;
+  return *this;
+}
+
 namespace {
 
 // Advances `i` past a JSON string (assumes text[i] == '"'). Returns false on

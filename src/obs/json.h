@@ -34,6 +34,10 @@ class JsonWriter {
   // A JSON null — for values that do not exist (e.g. a speedup over a
   // degenerate zero-time baseline).
   JsonWriter& Null();
+  // Embeds pre-rendered JSON verbatim as the next value — for composing a
+  // block another subsystem already serialized (e.g. the serving stats).
+  // The caller guarantees `json` is itself a complete, valid value.
+  JsonWriter& Raw(const std::string& json);
 
   // The document so far. Valid JSON once every Begin has been Ended.
   const std::string& str() const { return out_; }

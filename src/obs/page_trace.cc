@@ -165,6 +165,13 @@ void PageTrace::OnPageBind(uint32_t as_id, uint32_t vpn, uint32_t cpage) {
   pages[vpn] = cpage;
 }
 
+uint32_t PageTrace::CpageFor(uint32_t as_id, uint32_t vpn) const {
+  if (as_id >= vpn_to_cpage_.size() || vpn >= vpn_to_cpage_[as_id].size()) {
+    return kUnbound;
+  }
+  return vpn_to_cpage_[as_id][vpn];
+}
+
 void PageTrace::OnPageUnbind(uint32_t as_id, uint32_t vpn, uint32_t cpage) {
   (void)cpage;
   if (as_id < vpn_to_cpage_.size() && vpn < vpn_to_cpage_[as_id].size()) {

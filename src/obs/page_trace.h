@@ -121,6 +121,10 @@ class PageTrace : public mem::PageEventSink, public mem::AccessObserver {
   // The rollup for `cpage`, or nullptr when it has no events (or is beyond
   // the max_pages bound).
   const PageRollup* rollup(uint32_t cpage) const;
+  // The coherent page currently bound at (as_id, vpn), or mem::kTraceNoCpage
+  // when no binding has been observed — lets tests and tools attribute
+  // detector flags to the data structure owning a VA range.
+  uint32_t CpageFor(uint32_t as_id, uint32_t vpn) const;
 
   // --- Detectors ---------------------------------------------------------------
   bool IsPingPong(const PageRollup& r) const {

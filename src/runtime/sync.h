@@ -86,6 +86,9 @@ class Barrier {
   Barrier(ZoneAllocator& zone, const std::string& name, uint32_t parties);
 
   void Wait();
+  // VA of the barrier's synchronization page (arrivals/sense words), for
+  // attributing page-level telemetry.
+  uint32_t base_va() const { return state_.base_va(); }
 
  private:
   kernel::Kernel* kernel_ = nullptr;

@@ -1,0 +1,223 @@
+// Tests for the shared radix trie (src/apps/trie.h): single-thread
+// correctness against a reference map, deep collision chains, leaf-slot
+// recycling under churn, owner-sharded multi-processor runs under the race
+// detector, determinism of the serving checksum across reruns and sweep
+// workers, and the directory-vs-tardis protocol differential.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/apps/trie.h"
+#include "src/apps/workloads.h"
+#include "src/check/race_detector.h"
+#include "src/kernel/kernel.h"
+#include "src/load/driver.h"
+#include "src/runtime/parallel.h"
+#include "src/runtime/zone_allocator.h"
+#include "tests/test_util.h"
+
+namespace platinum {
+namespace {
+
+using apps::SharedTrie;
+using test::TestSystem;
+
+// Walks the trie (simulated reads) and checks it holds exactly `expect`,
+// in ascending TrieVisitRank order. Call from a simulated thread.
+void ExpectContents(SharedTrie& trie, const std::map<uint32_t, uint32_t>& expect) {
+  std::vector<std::pair<uint32_t, uint32_t>> want(expect.begin(), expect.end());
+  std::sort(want.begin(), want.end(), [](const auto& a, const auto& b) {
+    return apps::TrieVisitRank(a.first) < apps::TrieVisitRank(b.first);
+  });
+  std::vector<std::pair<uint32_t, uint32_t>> got;
+  trie.Visit([&](uint32_t key, uint32_t value) { got.emplace_back(key, value); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(TrieTest, SingleThreadMatchesReferenceMap) {
+  TestSystem sys(4);
+  auto* space = sys.kernel.CreateAddressSpace("trie");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  SharedTrie::Options options;
+  options.max_keys = 1u << 10;
+  SharedTrie trie = SharedTrie::Create(zone, options);
+
+  std::map<uint32_t, uint32_t> ref;
+  test::RunInThread(sys.kernel, space, 0, [&] {
+    for (uint64_t i = 0; i < 2000; ++i) {
+      uint64_t r = apps::Mix64(0xABCDu + i);
+      uint32_t key = static_cast<uint32_t>(r) & (options.max_keys - 1);
+      uint32_t kind = static_cast<uint32_t>(r >> 32) % 4;
+      if (kind < 2) {  // 50% insert/update
+        uint32_t value = static_cast<uint32_t>(r >> 8);
+        bool fresh = trie.Insert(key, value);
+        EXPECT_EQ(fresh, ref.find(key) == ref.end());
+        ref[key] = value;
+      } else if (kind == 2) {  // 25% erase
+        EXPECT_EQ(trie.Erase(key), ref.erase(key) > 0);
+      } else {  // 25% lookup
+        uint32_t value = 0;
+        auto it = ref.find(key);
+        EXPECT_EQ(trie.Lookup(key, &value), it != ref.end());
+        if (it != ref.end()) {
+          EXPECT_EQ(value, it->second);
+        }
+      }
+    }
+    EXPECT_EQ(trie.CountEntries(), ref.size());
+    ExpectContents(trie, ref);
+  });
+}
+
+TEST(TrieTest, DeepCollisionChains) {
+  TestSystem sys(2);
+  auto* space = sys.kernel.CreateAddressSpace("trie");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  SharedTrie::Options options;
+  options.max_keys = 1u << 4;  // tiny universe, but full-width keys below
+  SharedTrie trie = SharedTrie::Create(zone, options);
+
+  test::RunInThread(sys.kernel, space, 0, [&] {
+    // Chunks are consumed low-nibble-first, so keys differing only in the
+    // top nibble share all 7 lower chunks: inserting both forces a chain to
+    // the last level.
+    const uint32_t a = 0x00000003;
+    const uint32_t b = 0x70000003;
+    const uint32_t c = 0xF0000003;
+    ASSERT_TRUE(trie.Insert(a, 100));
+    ASSERT_TRUE(trie.Insert(b, 200));
+    ASSERT_TRUE(trie.Insert(c, 300));
+    uint32_t value = 0;
+    EXPECT_TRUE(trie.Lookup(a, &value));
+    EXPECT_EQ(value, 100u);
+    EXPECT_TRUE(trie.Lookup(b, &value));
+    EXPECT_EQ(value, 200u);
+    EXPECT_TRUE(trie.Lookup(c, &value));
+    EXPECT_EQ(value, 300u);
+    // Erase the middle sibling; the others survive the unlink.
+    EXPECT_TRUE(trie.Erase(b));
+    EXPECT_FALSE(trie.Lookup(b, &value));
+    EXPECT_TRUE(trie.Lookup(a, &value));
+    EXPECT_TRUE(trie.Lookup(c, &value));
+    EXPECT_EQ(trie.CountEntries(), 2u);
+  });
+  // The chain reached the deepest level (levels are 0-based).
+  EXPECT_EQ(trie.host_stats().max_depth, 7u);
+}
+
+TEST(TrieTest, ChurnRecyclesLeafSlotsWithoutAliasing) {
+  TestSystem sys(2);
+  auto* space = sys.kernel.CreateAddressSpace("trie");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  SharedTrie::Options options;
+  options.max_keys = 1u << 8;
+  SharedTrie trie = SharedTrie::Create(zone, options);
+
+  test::RunInThread(sys.kernel, space, 0, [&] {
+    std::map<uint32_t, uint32_t> ref;
+    for (int round = 0; round < 8; ++round) {
+      for (uint32_t key = 0; key < options.max_keys; key += 2) {
+        uint32_t value = static_cast<uint32_t>(apps::Mix64(round * 1000 + key));
+        trie.Insert(key, value);
+        ref[key] = value;
+      }
+      for (uint32_t key = 0; key < options.max_keys; key += 4) {
+        trie.Erase(key);
+        ref.erase(key);
+      }
+    }
+    EXPECT_EQ(trie.CountEntries(), ref.size());
+    ExpectContents(trie, ref);
+  });
+  const SharedTrie::HostStats& stats = trie.host_stats();
+  // Churn must be served from the freelist, not fresh slots: the pool holds
+  // max_keys leaves while each round frees and re-inserts a quarter of them.
+  EXPECT_GT(stats.leaf_reused, 0u);
+  EXPECT_LE(stats.leaf_allocated, options.max_keys);
+}
+
+TEST(TrieTest, OwnerShardedWritersRaceClean) {
+  TestSystem sys(8);
+  check::RaceDetector& detector = sys.kernel.EnableRaceDetection();
+  auto* space = sys.kernel.CreateAddressSpace("trie");
+  rt::ZoneAllocator zone(&sys.kernel, space);
+  SharedTrie::Options options;
+  options.max_keys = 1u << 10;
+  SharedTrie trie = SharedTrie::Create(zone, options);
+
+  const int kWorkers = 8;
+  const uint32_t kKeys = 512;
+  rt::RunOnProcessors(sys.kernel, space, kWorkers, "trie-worker", [&](int p) {
+    // Writes sharded by key ownership; reads range over everything.
+    for (uint32_t key = static_cast<uint32_t>(p); key < kKeys;
+         key += static_cast<uint32_t>(kWorkers)) {
+      trie.Insert(key, key * 3 + 1);
+    }
+    for (uint32_t key = static_cast<uint32_t>(p); key < kKeys;
+         key += static_cast<uint32_t>(kWorkers) * 2) {
+      trie.Erase(key);
+    }
+    uint32_t value = 0;
+    for (uint32_t key = 0; key < kKeys; key += 7) {
+      trie.Lookup(key, &value);  // concurrent readers against foreign writers
+    }
+  });
+
+  std::map<uint32_t, uint32_t> ref;
+  for (uint32_t key = 0; key < kKeys; ++key) {
+    ref[key] = key * 3 + 1;
+  }
+  for (uint32_t p = 0; p < static_cast<uint32_t>(kWorkers); ++p) {
+    for (uint32_t key = p; key < kKeys; key += static_cast<uint32_t>(kWorkers) * 2) {
+      ref.erase(key);
+    }
+  }
+  test::RunInThread(sys.kernel, space, 0, [&] {
+    EXPECT_EQ(trie.CountEntries(), ref.size());
+    ExpectContents(trie, ref);
+  });
+  EXPECT_EQ(detector.races_found(), 0u);
+}
+
+// One small serve; returns the content checksum. Each call builds a fresh
+// machine, so calls are independent and shardable across host threads.
+uint64_t ServeChecksum(const char* protocol) {
+  kernel::KernelOptions options;
+  options.protocol = protocol;
+  TestSystem sys(8, std::move(options));
+  load::DriverConfig config;
+  config.spec.keys = 1u << 10;
+  config.spec.ops = 20000;
+  config.procs = 8;
+  load::ServeResult result = load::RunTrieServe(sys.kernel, config);
+  EXPECT_TRUE(result.verified);
+  return result.checksum;
+}
+
+TEST(TrieTest, ServeChecksumDeterministicAcrossRerunsAndWorkers) {
+  // Four identical serves through a 4-worker SweepRunner: the harness
+  // threads and any rerun must produce the same contents (the tier-1
+  // determinism property, on the serving workload).
+  bench::SweepRunner runner(4);
+  std::vector<uint64_t> sums =
+      runner.Map(4, [&](int) -> uint64_t { return ServeChecksum("directory"); });
+  ASSERT_EQ(sums.size(), 4u);
+  for (uint64_t sum : sums) {
+    EXPECT_EQ(sum, sums[0]);
+  }
+}
+
+TEST(TrieTest, DirectoryAndTardisConverge) {
+  // Owner-sharded write streams make the final contents a pure function of
+  // the script, so the two protocols must agree bit-for-bit even though
+  // every interleaving differs.
+  EXPECT_EQ(ServeChecksum("directory"), ServeChecksum("tardis"));
+}
+
+}  // namespace
+}  // namespace platinum

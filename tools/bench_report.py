@@ -9,7 +9,7 @@ is meant to move. Tables written via PLATINUM_JSON_DIR are embedded so the
 simulated-time series travel with the baseline.
 
 Usage:
-  tools/bench_report.py --build-dir build --out BENCH_PR9.json [--small]
+  tools/bench_report.py --build-dir build --out BENCH_PR10.json [--small]
 
 `--small` shrinks the workloads to CI size (same knobs as the ctest smoke
 tests); without it the default run-in-seconds sizes are used. PLATINUM_FULL
@@ -40,12 +40,16 @@ BENCHES = [
     "abl_advice",
     "abl_scalability",
     "abl_protocol",
+    "fig_trie_serve",
+    "abl_lease",
 ]
 
 SMALL_ENV = {
     "PLATINUM_GAUSS_N": "48",
     "PLATINUM_SORT_COUNT": "4096",
     "PLATINUM_NEURAL_EPOCHS": "2",
+    "PLATINUM_TRIE_OPS": "20000",
+    "PLATINUM_TRIE_KEYS": "4096",
 }
 
 METRICS_RE = re.compile(r"^PLATINUM_BENCH_METRICS (\{.*\})$", re.MULTILINE)
@@ -88,8 +92,8 @@ def run_bench(binary, json_dir, env):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default="BENCH_PR9.json")
-    parser.add_argument("--tag", default="PR9")
+    parser.add_argument("--out", default="BENCH_PR10.json")
+    parser.add_argument("--tag", default="PR10")
     parser.add_argument("--small", action="store_true", help="CI-size workloads")
     parser.add_argument("--benches", nargs="*", default=BENCHES)
     args = parser.parse_args()

@@ -55,4 +55,10 @@ check sort sort --procs=4 --count=8192
 # worker knob, as the directory protocol's.
 check gauss_tardis gauss --procs=4 --n=48 --protocol=tardis
 check sort_tardis sort --procs=4 --count=8192 --protocol=tardis
+# The serving trie adds the load layer (Zipf scripts, latency histograms,
+# the "serving" stats block) to the byte-identity surface, closed and open
+# loop, under both protocols.
+check trie trie --procs=8 --ops=20000 --keys=4096
+check trie_tardis trie --procs=8 --ops=20000 --keys=4096 --protocol=tardis
+check trie_open trie --procs=8 --ops=20000 --keys=4096 --arrival=open
 echo "determinism_check: all scenarios byte-identical"

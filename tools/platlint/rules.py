@@ -151,6 +151,7 @@ class LayeringRule(Rule):
         "baseline": {"sim"},
         "uma": {"sim"},
         "apps": {"baseline", "kernel", "obs", "runtime", "sim", "uma"},
+        "load": {"apps", "kernel", "obs", "runtime", "sim"},
     }
 
     # Real, justified cycles: file -> extra directories it may include.
